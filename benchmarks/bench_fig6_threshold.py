@@ -1,0 +1,64 @@
+"""Fig. 6: the ISA Jaccard threshold delta.
+
+Sweeps delta over {0.1, 0.3, 0.5, 0.7, 0.9} and reports each setting's
+Recall@20 as a *proportion of the no-ISA result* — exactly the paper's
+presentation.  The paper's shape: small thresholds (0.1, 0.3) admit
+dissimilar items as positives and fall below 1.0; larger thresholds
+(0.7, 0.9) help.
+"""
+
+from __future__ import annotations
+
+from repro.bench import build_imcat_recipe, prepare_split, run_recipe
+from repro.bench.plots import series_plot
+from repro.bench.tables import format_series
+from repro.core import IMCATConfig
+
+from .conftest import env_datasets, override_default, run_once
+
+DEFAULT_DATASETS = ["hetrec-del", "citeulike"]
+DELTAS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def test_fig6_isa_threshold(benchmark, settings):
+    settings = override_default(settings, scale=0.08, epochs=60)
+    datasets = env_datasets(DEFAULT_DATASETS)
+
+    def run():
+        series = {}
+        for dataset_name in datasets:
+            dataset, split = prepare_split(dataset_name, settings)
+            base_config = IMCATConfig(use_isa=False)
+            base = run_recipe(
+                build_imcat_recipe("lightgcn", base_config),
+                dataset, split, "no-ISA", settings,
+            )
+            ratios = []
+            for delta in DELTAS:
+                config = IMCATConfig(delta=delta, use_isa=True)
+                cell = run_recipe(
+                    build_imcat_recipe("lightgcn", config),
+                    dataset, split, f"delta={delta}", settings,
+                )
+                ratios.append(
+                    cell.recall / base.recall if base.recall > 0 else 0.0
+                )
+            series[dataset_name] = ratios
+        return series
+
+    series = run_once(benchmark, run)
+    print()
+    print(
+        format_series(
+            "delta", DELTAS, series,
+            title="Fig. 6: Recall@20 relative to no-ISA (1.0 = parity)",
+        )
+    )
+    print()
+    print(series_plot(DELTAS, series, title="shape (per series):"))
+    # Shape assertion: high thresholds must not collapse below the
+    # permissive ones on average (similar items are better positives).
+    for name, ratios in series.items():
+        assert max(ratios[2:]) >= 0.9 * max(ratios[:2]), (
+            f"{name}: strict thresholds collapsed: {ratios}"
+        )

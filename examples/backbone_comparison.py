@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Backbone compatibility: a miniature slice of Table II.
+
+IMCAT is model-agnostic (the paper demonstrates it on BPRMF, NeuMF, and
+LightGCN).  This example trains all three backbones with and without
+IMCAT on one dataset and prints the six-row comparison, plus training
+wall times — a small-scale rehearsal of the Table II / Fig. 9 story:
+each backbone improves when wrapped, and N-IMCAT approaches GNN-level
+quality at lower cost.
+
+Run:  python examples/backbone_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import BenchSettings, METHODS, prepare_split, run_recipe
+from repro.bench.tables import format_table
+
+
+def main() -> None:
+    settings = BenchSettings(scale=0.08, embed_dim=32, epochs=50, batch_size=512)
+    dataset, split = prepare_split("hetrec-del", settings)
+    print(f"dataset: {dataset}\n")
+
+    rows = []
+    for method in ("BPRMF", "B-IMCAT", "NeuMF", "N-IMCAT", "LightGCN", "L-IMCAT"):
+        print(f"training {method}...")
+        cell = run_recipe(METHODS[method], dataset, split, method, settings)
+        rows.append(
+            [method, 100 * cell.recall, 100 * cell.ndcg, cell.wall_time]
+        )
+
+    print()
+    print(
+        format_table(
+            ["Model", "R@20 (%)", "N@20 (%)", "train time (s)"],
+            rows,
+            title="Backbone comparison (Table II slice, hetrec-del @ 0.08 scale)",
+        )
+    )
+    print(
+        "\nExpected shape (paper, full scale): each *-IMCAT row beats its "
+        "backbone row and L-IMCAT is best overall.  At this miniature "
+        "scale the N-/L-IMCAT gains are within noise of their backbones "
+        "and grow with scale and epoch budget (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Long-tail and cold-start analysis (the paper's Fig. 7 and Fig. 8).
+
+Trains plain LightGCN and L-IMCAT on the same split, then compares:
+
+- per-popularity-group contributions to Recall@20 (items split into
+  five equal groups G1..G5 by training degree, Fig. 7);
+- Recall@20 restricted to sparse users with fewer than 10 training
+  interactions (Fig. 8).
+
+The expected shape, reproduced here: L-IMCAT's advantage concentrates
+on the long-tail groups and on cold users, because the ISA module
+multiplies the supervision those entities receive.
+
+Run:  python examples/cold_start_longtail.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IMCAT, IMCATConfig, IMCATTrainConfig, IMCATTrainer
+from repro.data import generate_preset, split_dataset
+from repro.eval import (
+    Evaluator,
+    group_recall_contributions,
+    popularity_groups,
+    sparse_user_subset,
+)
+from repro.models import LightGCN, TrainConfig, fit_bpr
+
+
+def build_lightgcn(dataset, split, seed=13):
+    rng = np.random.default_rng(seed)
+    return LightGCN(
+        dataset.num_users, dataset.num_items,
+        (split.train.user_ids, split.train.item_ids),
+        embed_dim=32, rng=rng,
+    )
+
+
+def main() -> None:
+    dataset = generate_preset("citeulike", scale=0.05, seed=13)
+    split = split_dataset(dataset, seed=13)
+    print(f"dataset: {dataset}\n")
+
+    print("training plain LightGCN...")
+    lightgcn = build_lightgcn(dataset, split)
+    fit_bpr(
+        lightgcn, split,
+        TrainConfig(epochs=60, batch_size=512, eval_every=5, patience=4),
+    )
+
+    print("training L-IMCAT...")
+    rng = np.random.default_rng(13)
+    backbone = build_lightgcn(dataset, split)
+    imcat = IMCAT(
+        backbone, dataset, split.train,
+        IMCATConfig(num_intents=4, pretrain_epochs=5, delta=0.5),
+        rng=rng,
+    )
+    IMCATTrainer(
+        imcat, split,
+        IMCATTrainConfig(epochs=60, batch_size=512, eval_every=5, patience=4),
+    ).fit()
+
+    # ------------------------------------------------------------------
+    # Fig. 7: long-tail group contributions
+    # ------------------------------------------------------------------
+    groups = popularity_groups(split.train, num_groups=5)
+    degrees = split.train.item_degrees()
+    print("\nitem groups by training popularity:")
+    for g, members in enumerate(groups, start=1):
+        print(
+            f"  G{g}: {len(members)} items, "
+            f"degree range [{degrees[members].min()}, {degrees[members].max()}]"
+        )
+
+    print("\nper-group contribution to Recall@20 (Fig. 7):")
+    print(f"  {'model':10s} " + " ".join(f"{f'G{g}':>7s}" for g in range(1, 6)))
+    results = {}
+    for name, model in (("LightGCN", lightgcn), ("L-IMCAT", imcat)):
+        contributions = group_recall_contributions(
+            model, split.train, split.test, groups, top_n=20
+        )
+        results[name] = contributions
+        row = " ".join(f"{c:7.4f}" for c in contributions)
+        print(f"  {name:10s} {row}   (sum={contributions.sum():.4f})")
+
+    tail_gain = results["L-IMCAT"][:3].sum() - results["LightGCN"][:3].sum()
+    print(f"\nlong-tail (G1-G3) contribution gain of L-IMCAT: {tail_gain:+.4f}")
+
+    # ------------------------------------------------------------------
+    # Fig. 8: cold-start users
+    # ------------------------------------------------------------------
+    sparse_users = sparse_user_subset(split.train, max_interactions=10)
+    print(f"\ncold-start users (<10 training interactions): {len(sparse_users)}")
+    if len(sparse_users):
+        cold_eval = Evaluator(
+            split.train, split.test, top_n=(20,), metrics=("recall",),
+            user_subset=sparse_users,
+        )
+        for name, model in (("LightGCN", lightgcn), ("L-IMCAT", imcat)):
+            recall = cold_eval.evaluate(model)["recall@20"]
+            print(f"  {name:10s} cold-user Recall@20 = {recall:.4f}")
+    else:
+        print("  (none at this scale; increase scale or lower the threshold)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bring your own data: TSV files in, trained IMCAT out.
+
+Shows the full adoption path for a dataset that is *not* one of the
+seven presets: two tab-separated files (``user item`` interactions and
+``item tag`` assignments) are parsed, preprocessed with the paper's
+protocol (10-core filtering, tag min-support), split 7:1:2, and used to
+train N-IMCAT.  For the demo the TSVs themselves are synthesised, but
+the code path is exactly what real files would follow.
+
+Run:  python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core import IMCAT, IMCATConfig, IMCATTrainConfig, IMCATTrainer
+from repro.data import compute_statistics, load_pairs_dataset, split_dataset
+from repro.eval import Evaluator
+from repro.models import NeuMF
+
+
+def write_demo_files(directory: str, seed: int = 5) -> tuple[str, str]:
+    """Synthesise plausible raw TSVs (stand-ins for your own export)."""
+    rng = np.random.default_rng(seed)
+    n_users, n_items, n_tags = 120, 200, 40
+    interactions_path = os.path.join(directory, "interactions.tsv")
+    with open(interactions_path, "w", encoding="utf-8") as handle:
+        for user in range(n_users):
+            degree = max(int(rng.lognormal(3.2, 0.5)), 20)
+            items = rng.choice(n_items, size=min(degree, n_items), replace=False)
+            for item in items:
+                handle.write(f"{user}\t{item}\n")
+    tags_path = os.path.join(directory, "item_tags.tsv")
+    with open(tags_path, "w", encoding="utf-8") as handle:
+        for item in range(n_items):
+            for tag in rng.choice(n_tags, size=4, replace=False):
+                handle.write(f"{item}\t{tag}\n")
+    return interactions_path, tags_path
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as directory:
+        interactions_path, tags_path = write_demo_files(directory)
+        print(f"raw files: {interactions_path}, {tags_path}")
+
+        # Parse + preprocess (rating binarisation is skipped for implicit
+        # pairs; 10-core filtering and tag min-support apply).
+        dataset = load_pairs_dataset(interactions_path, tags_path, "my-shop")
+        print(f"after preprocessing: {dataset}")
+        print("Table I row:", compute_statistics(dataset).as_row())
+
+        split = split_dataset(dataset, seed=5)
+        rng = np.random.default_rng(5)
+        backbone = NeuMF(dataset.num_users, dataset.num_items, 32, rng=rng)
+        model = IMCAT(
+            backbone, dataset, split.train,
+            IMCATConfig(num_intents=4, pretrain_epochs=5), rng=rng,
+        )
+        print("\ntraining N-IMCAT on the custom dataset...")
+        result = IMCATTrainer(
+            model, split,
+            IMCATTrainConfig(epochs=30, batch_size=512, eval_every=5,
+                             patience=4),
+        ).fit()
+        evaluator = Evaluator(
+            split.train, split.test, top_n=(10, 20), metrics=("recall", "ndcg")
+        )
+        print(f"validation best: {result.best_metric:.4f}")
+        print(f"test: {evaluator.evaluate(model).summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: train L-IMCAT on a small dataset and recommend items.
+
+Walks the full public API end to end:
+
+1. generate a calibrated synthetic dataset (HetRec-Del preset);
+2. split interactions 7:1:2 (the paper's protocol);
+3. build a LightGCN backbone and wrap it with IMCAT;
+4. train with the two-phase schedule (pre-train, then activate the
+   self-supervised tag clustering);
+5. evaluate Recall@20 / NDCG@20 on the test set and print the top-10
+   recommendations for a sample user.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IMCAT, IMCATConfig, IMCATTrainConfig, IMCATTrainer
+from repro.data import generate_preset, split_dataset
+from repro.eval import Evaluator, rank_items
+from repro.models import LightGCN
+
+
+def main() -> None:
+    # 1. Data: a scaled-down HetRec-Delicious with planted intents.
+    dataset = generate_preset("hetrec-del", scale=0.12, seed=7)
+    print(f"dataset: {dataset}")
+
+    # 2. Per-user 7:1:2 split.
+    split = split_dataset(dataset, seed=7)
+    print(
+        f"split: train={split.train.num_interactions} "
+        f"valid={split.valid.num_interactions} "
+        f"test={split.test.num_interactions}"
+    )
+
+    # 3. Backbone + IMCAT wrapper.
+    rng = np.random.default_rng(7)
+    backbone = LightGCN(
+        dataset.num_users,
+        dataset.num_items,
+        (split.train.user_ids, split.train.item_ids),
+        embed_dim=32,
+        rng=rng,
+    )
+    config = IMCATConfig(num_intents=4, pretrain_epochs=5, delta=0.7)
+    model = IMCAT(backbone, dataset, split.train, config, rng=rng)
+    print(f"model parameters: {model.num_parameters():,}")
+
+    # 4. Two-phase training with early stopping on validation Recall@20.
+    trainer = IMCATTrainer(
+        model,
+        split,
+        IMCATTrainConfig(epochs=60, batch_size=512, eval_every=5, patience=4,
+                         verbose=True),
+    )
+    result = trainer.fit()
+    print(
+        f"training: best valid Recall@20={result.best_metric:.4f} at "
+        f"epoch {result.best_epoch} ({result.wall_time:.1f}s)"
+    )
+
+    # 5. Test evaluation + a sample recommendation list.
+    evaluator = Evaluator(
+        split.train, split.test, top_n=(10, 20), metrics=("recall", "ndcg")
+    )
+    test_result = evaluator.evaluate(model)
+    print(f"test: {test_result.summary()}")
+
+    user = int(evaluator.eval_users[0])
+    scores = model.all_scores(np.array([user]))[0]
+    train_items = set(split.train.items_of_user()[user].tolist())
+    top10 = rank_items(scores, train_items, 10)
+    held_out = set(split.test.items_of_user()[user].tolist())
+    marks = ["HIT " if item in held_out else "     " for item in top10]
+    print(f"\ntop-10 recommendations for user {user}:")
+    for rank, (item, mark) in enumerate(zip(top10, marks), start=1):
+        print(f"  {rank:2d}. item {item:5d}  {mark}")
+
+
+if __name__ == "__main__":
+    main()

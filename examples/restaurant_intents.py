@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Intent discovery on a restaurant scenario (the paper's Fig. 1/2 story).
+
+The paper motivates IMCAT with restaurant recommendation: a user may
+visit a restaurant for its *taste*, its *service*, its *price*, or its
+*ambience* — distinct intents that should map to distinct tag clusters.
+
+This example builds a synthetic restaurant dataset whose tag vocabulary
+is organised into exactly those four named families, trains B-IMCAT with
+K=4 intents, and then inspects:
+
+- which named tags the self-supervised clustering groups together
+  (cluster purity against the known families);
+- the per-intent relatedness weights ``M_{j,k}`` of a few restaurants
+  (Eq. 9), i.e. "this place is mostly about taste".
+
+Run:  python examples/restaurant_intents.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IMCAT, IMCATConfig, IMCATTrainConfig, IMCATTrainer
+from repro.core.alignment import relatedness_weights
+from repro.data import SyntheticConfig, generate, split_dataset
+from repro.models import BPRMF
+
+TAG_FAMILIES = {
+    0: ["delicious", "yummy", "amazing-dessert", "tasty", "great-menu",
+        "fresh", "flavourful", "juicy", "savory", "crispy"],
+    1: ["friendly-waiter", "feel-at-home", "fast-service", "attentive",
+        "welcoming", "helpful-staff", "quick-seating", "polite",
+        "responsive", "caring"],
+    2: ["cheap", "good-value", "affordable", "happy-hour", "big-portions",
+        "fair-prices", "free-refills", "student-deal", "coupons",
+        "lunch-special"],
+    3: ["cozy", "romantic", "nice-view", "quiet", "live-music",
+        "candle-light", "garden-seating", "modern-decor", "rooftop",
+        "fireplace"],
+}
+FAMILY_NAMES = {0: "taste", 1: "service", 2: "price", 3: "ambience"}
+
+
+def main() -> None:
+    num_factors = 4
+    tags_per_family = 10
+    config = SyntheticConfig(
+        name="restaurants",
+        num_users=250,
+        num_items=500,
+        num_tags=num_factors * tags_per_family,
+        num_factors=num_factors,
+        mean_user_degree=18,
+        mean_item_tags=4,
+        user_concentration=0.15,  # focused users: 1-2 intents each
+        tag_offtopic=0.08,
+    )
+    dataset, truth = generate(config, seed=21, return_ground_truth=True)
+    # Name every tag by its ground-truth family for readability.
+    tag_names = {}
+    counters = {f: 0 for f in range(num_factors)}
+    for tag in range(dataset.num_tags):
+        family = truth.tag_factors[tag]
+        tag_names[tag] = TAG_FAMILIES[family][counters[family] % tags_per_family]
+        counters[family] += 1
+
+    split = split_dataset(dataset, seed=21)
+    rng = np.random.default_rng(21)
+    backbone = BPRMF(dataset.num_users, dataset.num_items, 32, rng)
+    model = IMCAT(
+        backbone, dataset, split.train,
+        IMCATConfig(num_intents=4, pretrain_epochs=8, gamma=0.5),
+        rng=rng,
+    )
+    print("training B-IMCAT with K=4 intents on the restaurant dataset...")
+    result = IMCATTrainer(
+        model, split,
+        IMCATTrainConfig(epochs=50, batch_size=512, learning_rate=5e-3,
+                         eval_every=5, patience=4),
+    ).fit()
+    print(f"best valid Recall@20: {result.best_metric:.4f}\n")
+
+    # --- inspect the learned tag clusters -----------------------------
+    clusters = model.tag_clusters
+    print("learned tag clusters (sample of members):")
+    for k in range(4):
+        members = np.where(clusters == k)[0]
+        family_votes = np.bincount(
+            truth.tag_factors[members], minlength=4
+        )
+        dominant = FAMILY_NAMES[int(family_votes.argmax())]
+        purity = family_votes.max() / max(len(members), 1)
+        sample = ", ".join(tag_names[t] for t in members[:6])
+        print(
+            f"  cluster {k}: {len(members):2d} tags, "
+            f"dominant family={dominant!r} (purity {purity:.0%})"
+        )
+        print(f"      e.g. {sample}")
+
+    overall = np.mean([
+        np.bincount(truth.tag_factors[clusters == k], minlength=4).max()
+        / max((clusters == k).sum(), 1)
+        for k in range(4) if (clusters == k).sum() > 0
+    ])
+    print(f"\nmean cluster purity vs. ground-truth families: {overall:.0%} "
+          f"(chance = 25%)")
+
+    # --- intent-level explanation of one recommendation ---------------
+    from repro.core import cluster_summary, explain_pair
+
+    user = 0
+    train_items = set(split.train.items_of_user()[user].tolist())
+    top = model.backbone.recommend(user, top_n=3, exclude=train_items)
+    print("\nwhy were these recommended to user 0?")
+    summaries = {s["intent"]: s["tags"][:3] for s in cluster_summary(model, tag_names)}
+    for item in top:
+        explanation = explain_pair(model, user, int(item))
+        dominant = explanation.dominant_intent
+        share = explanation.shares()[dominant]
+        print(
+            f"  restaurant {int(item)}: dominant intent {dominant} "
+            f"({share:.0%} share), cluster tags ~ {summaries[dominant]}"
+        )
+
+    # --- per-item intent relatedness (Eq. 9) --------------------------
+    tags_of_item = dataset.tags_of_item()
+    print("\nintent relatedness M_j (Eq. 9) for three restaurants:")
+    shown = 0
+    for item in range(dataset.num_items):
+        tags = tags_of_item[item]
+        if len(tags) < 4:
+            continue
+        counts = np.bincount(clusters[tags], minlength=4)[None, :]
+        weights = relatedness_weights(counts)[0]
+        named = ", ".join(tag_names[t] for t in tags[:5])
+        profile = ", ".join(
+            f"intent{k}={weights[k]:.2f}" for k in range(4)
+        )
+        print(f"  restaurant {item}: tags=[{named}]")
+        print(f"      {profile}")
+        shown += 1
+        if shown == 3:
+            break
+
+
+if __name__ == "__main__":
+    main()

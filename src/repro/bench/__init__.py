@@ -1,0 +1,46 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .harness import (
+    BenchSettings,
+    CellResult,
+    prepare_split,
+    run_method,
+    run_method_seeds,
+    run_recipe,
+    run_table,
+)
+from .registry import ABLATIONS, EXTRAS, METHODS, TrainedMethod, build_imcat_recipe
+from .plots import bar_chart, series_plot, sparkline
+from .report import compare_results, load_results, save_results, to_markdown
+from .sweep import PAPER_GRID, SweepResult, Trial, grid_search
+from .tables import format_series, format_table, format_table2, normalize_series
+
+__all__ = [
+    "ABLATIONS",
+    "BenchSettings",
+    "CellResult",
+    "EXTRAS",
+    "METHODS",
+    "PAPER_GRID",
+    "SweepResult",
+    "TrainedMethod",
+    "Trial",
+    "bar_chart",
+    "build_imcat_recipe",
+    "compare_results",
+    "format_series",
+    "format_table",
+    "format_table2",
+    "grid_search",
+    "load_results",
+    "normalize_series",
+    "prepare_split",
+    "run_method",
+    "run_method_seeds",
+    "run_recipe",
+    "run_table",
+    "save_results",
+    "series_plot",
+    "sparkline",
+    "to_markdown",
+]

@@ -1,0 +1,73 @@
+"""Terminal plots: ASCII bar charts and sparklines for the figure benches.
+
+The paper's Figs. 5-9 are bar/line charts; the benches print their data
+as tables, and these helpers render the same series as quick visual
+shapes directly in the terminal log — no plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, one row per labelled value."""
+    if not series:
+        return ""
+    peak = max(abs(v) for v in series.values())
+    scale = width / peak if peak > 0 else 0.0
+    label_width = max(len(str(k)) for k in series)
+    lines = []
+    for label, value in series.items():
+        bar = "#" * max(int(abs(value) * scale), 0)
+        lines.append(f"{str(label).ljust(label_width)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Multi-series summary: one sparkline per series with its range.
+
+    Mirrors how the paper's line charts are read — shape first, exact
+    values from the accompanying table.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(str(k)) for k in series), default=0)
+    lines.append(
+        f"{' ' * label_width}  x: {', '.join(str(x) for x in x_values)}"
+    )
+    for label, values in series.items():
+        values = list(values)
+        spark = sparkline(values)
+        lines.append(
+            f"{str(label).ljust(label_width)}  {spark}  "
+            f"[{min(values):.3g} .. {max(values):.3g}]"
+        )
+    return "\n".join(lines)

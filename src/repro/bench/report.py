@@ -1,0 +1,102 @@
+"""Result reporting: JSON archives and Markdown rendering.
+
+The text tables printed by the benches are ephemeral; this module
+persists :class:`~repro.bench.harness.CellResult` grids as JSON (for
+later comparison across machines or code versions) and renders them as
+Markdown for EXPERIMENTS.md-style documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Sequence
+
+from .harness import CellResult
+
+
+def cell_to_dict(cell: CellResult) -> dict:
+    """JSON-safe representation of one cell (per-user vectors dropped)."""
+    return {
+        "dataset": cell.dataset,
+        "method": cell.method,
+        "recall": cell.recall,
+        "ndcg": cell.ndcg,
+        "wall_time": cell.wall_time,
+        "epochs_run": cell.epochs_run,
+    }
+
+
+def save_results(
+    results: Mapping[str, Mapping[str, CellResult]], path: str
+) -> None:
+    """Persist a ``results[dataset][method]`` grid as JSON."""
+    payload = {
+        dataset: {method: cell_to_dict(cell) for method, cell in row.items()}
+        for dataset, row in results.items()
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_results(path: str) -> Dict[str, Dict[str, dict]]:
+    """Load a grid saved by :func:`save_results` (plain dicts)."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def to_markdown(
+    results: Mapping[str, Mapping[str, CellResult]],
+    method_order: Sequence[str],
+    dataset_order: Sequence[str],
+    metric: str = "recall",
+) -> str:
+    """Render a grid as a GitHub-flavoured Markdown table (%).
+
+    Args:
+        results: ``results[dataset][method]`` grid.
+        method_order / dataset_order: row and column ordering.
+        metric: ``"recall"`` or ``"ndcg"``.
+    """
+    if metric not in ("recall", "ndcg"):
+        raise ValueError(f"metric must be 'recall' or 'ndcg', got {metric!r}")
+    header = "| Model | " + " | ".join(dataset_order) + " |"
+    separator = "|" + "---|" * (len(dataset_order) + 1)
+    lines = [header, separator]
+    for method in method_order:
+        cells = []
+        for dataset in dataset_order:
+            cell = results.get(dataset, {}).get(method)
+            cells.append(
+                f"{100 * getattr(cell, metric):.2f}" if cell is not None else "-"
+            )
+        lines.append(f"| {method} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def compare_results(
+    baseline: Mapping[str, Mapping[str, dict]],
+    current: Mapping[str, Mapping[str, CellResult]],
+    metric: str = "recall",
+) -> Dict[str, Dict[str, float]]:
+    """Relative change of ``current`` vs a loaded JSON ``baseline``.
+
+    Returns ``deltas[dataset][method]`` as a signed fraction
+    (``+0.05`` = five percent better than the archived run); methods or
+    datasets absent from either side are skipped.
+    """
+    deltas: Dict[str, Dict[str, float]] = {}
+    for dataset, row in current.items():
+        if dataset not in baseline:
+            continue
+        for method, cell in row.items():
+            old = baseline[dataset].get(method)
+            if old is None or old.get(metric, 0.0) == 0.0:
+                continue
+            new_value = getattr(cell, metric)
+            deltas.setdefault(dataset, {})[method] = (
+                new_value / old[metric] - 1.0
+            )
+    return deltas

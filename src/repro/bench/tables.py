@@ -1,0 +1,79 @@
+"""Formatting helpers: render results in the layout of the paper's
+tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with aligned columns."""
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(row[i])) for row in columns) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table2(
+    results: Mapping[str, Mapping[str, object]],
+    method_order: Sequence[str],
+    dataset_order: Sequence[str],
+) -> str:
+    """Render Table II: methods x datasets with R@20 / N@20 percent."""
+    headers = ["Model"] + [
+        part for name in dataset_order for part in (f"{name} R@20", f"{name} N@20")
+    ]
+    rows = []
+    for method in method_order:
+        row: list = [method]
+        for dataset in dataset_order:
+            cell = results.get(dataset, {}).get(method)
+            if cell is None:
+                row.extend(["-", "-"])
+            else:
+                row.extend([100.0 * cell.recall, 100.0 * cell.ndcg])
+        rows.append(row)
+    return format_table(headers, rows, title="Table II (reproduced, %)")
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render a figure as one row per series (for Figs. 5-9)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return format_table(headers, rows, title=title)
+
+
+def normalize_series(series: Mapping[str, Sequence[float]]) -> Dict[str, np.ndarray]:
+    """Column-wise normalisation into [0, 1] (Figs. 7-8 presentation)."""
+    names = list(series)
+    matrix = np.asarray([series[name] for name in names], dtype=np.float64)
+    best = matrix.max(axis=0)
+    best = np.where(best > 0, best, 1.0)
+    return {name: matrix[i] / best for i, name in enumerate(names)}

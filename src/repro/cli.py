@@ -1,0 +1,106 @@
+"""Command-line interface: run one experiment cell from the shell.
+
+Examples::
+
+    python -m repro run --dataset hetrec-del --method L-IMCAT --scale 0.1
+    python -m repro stats --scale 0.1
+    python -m repro list
+
+The CLI is a thin veneer over :mod:`repro.bench`; every knob maps to a
+:class:`~repro.bench.BenchSettings` field.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import ABLATIONS, EXTRAS, METHODS, BenchSettings, run_method
+from .bench.tables import format_table
+from .data import DATASET_ORDER, compute_statistics, generate_preset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMCAT reproduction experiment runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="train + evaluate one method")
+    run.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    run.add_argument(
+        "--method", required=True,
+        choices=sorted(set(METHODS) | set(ABLATIONS) | set(EXTRAS)),
+    )
+    run.add_argument("--scale", type=float, default=0.05)
+    run.add_argument("--epochs", type=int, default=40)
+    run.add_argument("--embed-dim", type=int, default=32)
+    run.add_argument("--batch-size", type=int, default=512)
+    run.add_argument("--seed", type=int, default=7)
+
+    stats = commands.add_parser("stats", help="print Table I statistics")
+    stats.add_argument("--scale", type=float, default=0.05)
+    stats.add_argument("--seed", type=int, default=1)
+
+    commands.add_parser("list", help="list datasets and methods")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    settings = BenchSettings(
+        scale=args.scale,
+        embed_dim=args.embed_dim,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        train_seed=args.seed,
+    )
+    cell = run_method(args.dataset, args.method, settings)
+    print(
+        format_table(
+            ["dataset", "method", "R@20 (%)", "N@20 (%)", "time (s)", "epochs"],
+            [[cell.dataset, cell.method, 100 * cell.recall,
+              100 * cell.ndcg, cell.wall_time, cell.epochs_run]],
+        )
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_ORDER:
+        dataset = generate_preset(name, scale=args.scale, seed=args.seed)
+        row = compute_statistics(dataset).as_row()
+        rows.append([name] + list(row.values()))
+    header = ["dataset", "#User", "#Item", "#Tag", "#UI", "UI dens",
+              "UI deg", "#IT", "IT dens", "IT deg"]
+    print(format_table(header, rows, title=f"Table I @ scale={args.scale}"))
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("datasets:")
+    for name in DATASET_ORDER:
+        print(f"  {name}")
+    print("methods (Table II):")
+    for name in METHODS:
+        print(f"  {name}")
+    print("ablations (Table III):")
+    for name in ABLATIONS:
+        print(f"  {name}")
+    print("extras:")
+    for name in EXTRAS:
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "stats": cmd_stats, "list": cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""IRM: intent-aware representation modelling (Section IV.A.1).
+
+User and item embeddings of size ``d`` are interpreted as the
+concatenation of ``K`` sub-embeddings of size ``d/K`` (Eq. 3), one per
+intent.  No extra parameters are introduced — the paper keeps the total
+embedding size fixed for fair comparison — so the operations here are
+views plus the intent-independence regulariser.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+
+
+def validate_intent_dims(embed_dim: int, num_intents: int) -> int:
+    """Return ``d/K``, raising if ``K`` does not divide ``d``."""
+    if embed_dim % num_intents != 0:
+        raise ValueError(
+            f"embedding size {embed_dim} is not divisible by "
+            f"num_intents {num_intents}"
+        )
+    return embed_dim // num_intents
+
+
+def intent_view(embeddings: Tensor, intent: int, num_intents: int) -> Tensor:
+    """Slice the ``intent``-th sub-embedding block: ``(n, d/K)``."""
+    dim = validate_intent_dims(embeddings.shape[-1], num_intents)
+    return embeddings[:, intent * dim : (intent + 1) * dim]
+
+
+def intent_views(embeddings: Tensor, num_intents: int) -> List[Tensor]:
+    """All ``K`` sub-embedding views of an ``(n, d)`` tensor."""
+    return [intent_view(embeddings, k, num_intents) for k in range(num_intents)]
+
+
+def split_intents(array: np.ndarray, num_intents: int) -> np.ndarray:
+    """Reshape a plain ``(n, d)`` array to ``(n, K, d/K)`` (no autograd)."""
+    n, d = array.shape
+    dim = validate_intent_dims(d, num_intents)
+    return array.reshape(n, num_intents, dim)
+
+
+def independence_loss(embeddings: Tensor, num_intents: int) -> Tensor:
+    """Penalise correlation between intent sub-embeddings.
+
+    Section V.D: "we encourage independence of different intents by
+    minimizing their correlation following the approach in [31]".  For a
+    batch of entities this computes the mean squared cosine similarity
+    between every pair of distinct intent blocks, which is zero exactly
+    when the sub-embeddings are mutually orthogonal on average.
+    """
+    if num_intents <= 1:
+        # Single intent: nothing to disentangle.
+        return Tensor(np.zeros(()))
+    views = [F.l2_normalize(v) for v in intent_views(embeddings, num_intents)]
+    total = None
+    pairs = 0
+    for a in range(num_intents):
+        for b in range(a + 1, num_intents):
+            cos = (views[a] * views[b]).sum(axis=1)
+            term = (cos * cos).mean()
+            total = term if total is None else total + term
+            pairs += 1
+    return total * (1.0 / pairs)

@@ -1,0 +1,79 @@
+"""Data layer: dataset container, synthetic generators, preprocessing,
+splits, negative sampling, and Table I statistics."""
+
+from .analysis import (
+    DegreeReport,
+    PowerLawFit,
+    analyze_item_degrees,
+    fit_power_law,
+    gini_coefficient,
+    head_share,
+)
+from .cache import cached_generate, load_dataset_file, save_dataset
+from .dataset import TagRecDataset
+from .loaders import (
+    available_datasets,
+    load_citeulike_t,
+    load_dataset,
+    load_pairs_dataset,
+    read_delimited,
+)
+from .preprocess import (
+    PreprocessConfig,
+    binarize_ratings,
+    k_core_filter,
+    preprocess,
+    preprocess_dataset,
+)
+from .sampling import BPRSampler, ItemTagSampler, TripletBatch, sample_item_batches
+from .split import Split, split_dataset
+from .stats import DatasetStatistics, compute_statistics
+from .synthetic import (
+    DATASET_ORDER,
+    PAPER_STATISTICS,
+    PRESETS,
+    SyntheticConfig,
+    SyntheticGroundTruth,
+    generate,
+    generate_preset,
+    preset,
+)
+
+__all__ = [
+    "BPRSampler",
+    "DATASET_ORDER",
+    "DatasetStatistics",
+    "DegreeReport",
+    "ItemTagSampler",
+    "PAPER_STATISTICS",
+    "PRESETS",
+    "PowerLawFit",
+    "PreprocessConfig",
+    "Split",
+    "SyntheticConfig",
+    "SyntheticGroundTruth",
+    "TagRecDataset",
+    "TripletBatch",
+    "analyze_item_degrees",
+    "available_datasets",
+    "binarize_ratings",
+    "cached_generate",
+    "compute_statistics",
+    "fit_power_law",
+    "generate",
+    "generate_preset",
+    "gini_coefficient",
+    "head_share",
+    "k_core_filter",
+    "load_citeulike_t",
+    "load_dataset",
+    "load_dataset_file",
+    "load_pairs_dataset",
+    "preprocess",
+    "preprocess_dataset",
+    "preset",
+    "read_delimited",
+    "sample_item_batches",
+    "save_dataset",
+    "split_dataset",
+]

@@ -1,0 +1,67 @@
+"""Dataset caching: persist a :class:`TagRecDataset` as compressed npz.
+
+Synthetic generation at larger scales takes seconds to minutes; caching
+lets benchmark reruns and notebook sessions reload instantly.  The file
+stores the four index arrays plus entity counts and the name.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .dataset import TagRecDataset
+
+
+def save_dataset(dataset: TagRecDataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    if not path.endswith(".npz"):
+        path = f"{path}.npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_tags=dataset.num_tags,
+        user_ids=dataset.user_ids,
+        item_ids=dataset.item_ids,
+        tag_item_ids=dataset.tag_item_ids,
+        tag_ids=dataset.tag_ids,
+        name=np.asarray(dataset.name),
+    )
+
+
+def load_dataset_file(path: str) -> TagRecDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = f"{path}.npz"
+    with np.load(path) as archive:
+        return TagRecDataset(
+            num_users=int(archive["num_users"]),
+            num_items=int(archive["num_items"]),
+            num_tags=int(archive["num_tags"]),
+            user_ids=archive["user_ids"],
+            item_ids=archive["item_ids"],
+            tag_item_ids=archive["tag_item_ids"],
+            tag_ids=archive["tag_ids"],
+            name=str(archive["name"]),
+        )
+
+
+def cached_generate(generator, path: str, *args, **kwargs) -> TagRecDataset:
+    """Memoise a generator call on disk.
+
+    Args:
+        generator: callable returning a :class:`TagRecDataset`
+            (e.g. ``generate_preset``).
+        path: cache file location.
+        *args, **kwargs: forwarded to ``generator`` on a cache miss.
+    """
+    target = path if path.endswith(".npz") else f"{path}.npz"
+    if os.path.exists(target):
+        return load_dataset_file(target)
+    dataset = generator(*args, **kwargs)
+    save_dataset(dataset, target)
+    return dataset

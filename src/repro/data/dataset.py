@@ -1,0 +1,209 @@
+"""Core dataset container for tag-enhanced recommendation.
+
+A :class:`TagRecDataset` holds the two information sources of the paper's
+problem formulation (Section III.A):
+
+- the binary user-item interaction matrix ``Y`` (implicit feedback), and
+- the binary item-tag labelling matrix ``Y'``.
+
+Interactions are stored as parallel index arrays; sparse matrices and
+adjacency lists are materialised lazily and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class TagRecDataset:
+    """Implicit-feedback interactions plus item-tag assignments.
+
+    Attributes:
+        num_users: number of distinct users ``|U|``.
+        num_items: number of distinct items ``|V|``.
+        num_tags: number of distinct tags ``|T|``.
+        user_ids: ``(n_interactions,)`` user index of each interaction.
+        item_ids: ``(n_interactions,)`` item index of each interaction.
+        tag_item_ids: ``(n_assignments,)`` item index of each tag assignment.
+        tag_ids: ``(n_assignments,)`` tag index of each tag assignment.
+        name: human-readable dataset name.
+    """
+
+    num_users: int
+    num_items: int
+    num_tags: int
+    user_ids: np.ndarray
+    item_ids: np.ndarray
+    tag_item_ids: np.ndarray
+    tag_ids: np.ndarray
+    name: str = "unnamed"
+    _cache: Dict[str, object] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.user_ids = np.asarray(self.user_ids, dtype=np.int64)
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.tag_item_ids = np.asarray(self.tag_item_ids, dtype=np.int64)
+        self.tag_ids = np.asarray(self.tag_ids, dtype=np.int64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent index ranges or lengths."""
+        if len(self.user_ids) != len(self.item_ids):
+            raise ValueError(
+                f"user_ids ({len(self.user_ids)}) and item_ids "
+                f"({len(self.item_ids)}) must have equal length"
+            )
+        if len(self.tag_item_ids) != len(self.tag_ids):
+            raise ValueError(
+                f"tag_item_ids ({len(self.tag_item_ids)}) and tag_ids "
+                f"({len(self.tag_ids)}) must have equal length"
+            )
+        for label, arr, bound in (
+            ("user_ids", self.user_ids, self.num_users),
+            ("item_ids", self.item_ids, self.num_items),
+            ("tag_item_ids", self.tag_item_ids, self.num_items),
+            ("tag_ids", self.tag_ids, self.num_tags),
+        ):
+            if len(arr) and (arr.min() < 0 or arr.max() >= bound):
+                raise ValueError(
+                    f"{label} out of range [0, {bound}): "
+                    f"min={arr.min()}, max={arr.max()}"
+                )
+
+    # ------------------------------------------------------------------
+    # basic counts
+    # ------------------------------------------------------------------
+    @property
+    def num_interactions(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def num_tag_assignments(self) -> int:
+        return len(self.tag_ids)
+
+    def interaction_density(self) -> float:
+        """Fraction of filled entries in ``Y``."""
+        total = self.num_users * self.num_items
+        return self.num_interactions / total if total else 0.0
+
+    def tag_density(self) -> float:
+        """Fraction of filled entries in ``Y'``."""
+        total = self.num_items * self.num_tags
+        return self.num_tag_assignments / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # cached sparse views
+    # ------------------------------------------------------------------
+    def interaction_matrix(self) -> sp.csr_matrix:
+        """Binary ``|U| x |V|`` matrix ``Y`` (duplicates collapsed)."""
+        if "Y" not in self._cache:
+            mat = sp.coo_matrix(
+                (
+                    np.ones(self.num_interactions),
+                    (self.user_ids, self.item_ids),
+                ),
+                shape=(self.num_users, self.num_items),
+            )
+            mat.sum_duplicates()
+            mat.data[:] = 1.0
+            self._cache["Y"] = mat.tocsr()
+        return self._cache["Y"]
+
+    def tag_matrix(self) -> sp.csr_matrix:
+        """Binary ``|V| x |T|`` matrix ``Y'`` (duplicates collapsed)."""
+        if "Yp" not in self._cache:
+            mat = sp.coo_matrix(
+                (
+                    np.ones(self.num_tag_assignments),
+                    (self.tag_item_ids, self.tag_ids),
+                ),
+                shape=(self.num_items, self.num_tags),
+            )
+            mat.sum_duplicates()
+            mat.data[:] = 1.0
+            self._cache["Yp"] = mat.tocsr()
+        return self._cache["Yp"]
+
+    # ------------------------------------------------------------------
+    # adjacency lists
+    # ------------------------------------------------------------------
+    def items_of_user(self) -> List[np.ndarray]:
+        """Per-user arrays of interacted item indices (``I_u^+``)."""
+        if "items_of_user" not in self._cache:
+            self._cache["items_of_user"] = _group_by(
+                self.user_ids, self.item_ids, self.num_users
+            )
+        return self._cache["items_of_user"]
+
+    def users_of_item(self) -> List[np.ndarray]:
+        """Per-item arrays of interacting user indices (``I_u(v_j)``, Eq. 7)."""
+        if "users_of_item" not in self._cache:
+            self._cache["users_of_item"] = _group_by(
+                self.item_ids, self.user_ids, self.num_items
+            )
+        return self._cache["users_of_item"]
+
+    def tags_of_item(self) -> List[np.ndarray]:
+        """Per-item arrays of assigned tag indices (used by Eq. 8)."""
+        if "tags_of_item" not in self._cache:
+            self._cache["tags_of_item"] = _group_by(
+                self.tag_item_ids, self.tag_ids, self.num_items
+            )
+        return self._cache["tags_of_item"]
+
+    def item_degrees(self) -> np.ndarray:
+        """Number of interactions per item (popularity)."""
+        return np.bincount(self.item_ids, minlength=self.num_items)
+
+    def user_degrees(self) -> np.ndarray:
+        """Number of interactions per user."""
+        return np.bincount(self.user_ids, minlength=self.num_users)
+
+    def tag_degrees(self) -> np.ndarray:
+        """Number of items each tag is assigned to."""
+        return np.bincount(self.tag_ids, minlength=self.num_tags)
+
+    # ------------------------------------------------------------------
+    # derived datasets
+    # ------------------------------------------------------------------
+    def with_interactions(
+        self, user_ids: np.ndarray, item_ids: np.ndarray, name: Optional[str] = None
+    ) -> "TagRecDataset":
+        """Return a copy holding different interactions but the same tags."""
+        return TagRecDataset(
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_tags=self.num_tags,
+            user_ids=np.asarray(user_ids),
+            item_ids=np.asarray(item_ids),
+            tag_item_ids=self.tag_item_ids,
+            tag_ids=self.tag_ids,
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TagRecDataset(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, tags={self.num_tags}, "
+            f"interactions={self.num_interactions}, "
+            f"tag_assignments={self.num_tag_assignments})"
+        )
+
+
+def _group_by(keys: np.ndarray, values: np.ndarray, num_groups: int) -> List[np.ndarray]:
+    """Group ``values`` by integer ``keys`` in O(n log n)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    boundaries = np.searchsorted(sorted_keys, np.arange(num_groups + 1))
+    return [
+        sorted_values[boundaries[g] : boundaries[g + 1]] for g in range(num_groups)
+    ]

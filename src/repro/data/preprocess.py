@@ -1,0 +1,168 @@
+"""Preprocessing pipeline replicating the paper's filtering protocol.
+
+Section V.A: ratings >= 4 (of 5) become positive implicit feedback;
+users and items with fewer than 10 interactions are filtered out
+(iteratively — a 10-core decomposition); tags must be assigned to at
+least 5 items.  Entity ids are re-indexed densely after filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .dataset import TagRecDataset
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Filtering thresholds (paper defaults)."""
+
+    rating_threshold: float = 4.0
+    min_user_interactions: int = 10
+    min_item_interactions: int = 10
+    min_tag_items: int = 5
+
+
+def binarize_ratings(
+    user_ids: np.ndarray,
+    item_ids: np.ndarray,
+    ratings: np.ndarray,
+    threshold: float = 4.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep only interactions with rating >= threshold.
+
+    Returns filtered ``(user_ids, item_ids)``; lower ratings are treated
+    as missing entries, per Section V.A.
+    """
+    ratings = np.asarray(ratings, dtype=np.float64)
+    keep = ratings >= threshold
+    return np.asarray(user_ids)[keep], np.asarray(item_ids)[keep]
+
+
+def k_core_filter(
+    user_ids: np.ndarray,
+    item_ids: np.ndarray,
+    min_user: int,
+    min_item: int,
+    max_rounds: int = 100,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Iteratively drop users/items below the interaction thresholds.
+
+    Repeats until a fixed point: removing a cold item can push a user
+    below the threshold and vice versa.
+    """
+    user_ids = np.asarray(user_ids).copy()
+    item_ids = np.asarray(item_ids).copy()
+    for _ in range(max_rounds):
+        if len(user_ids) == 0:
+            break
+        user_counts = np.bincount(user_ids)
+        item_counts = np.bincount(item_ids)
+        keep = (user_counts[user_ids] >= min_user) & (
+            item_counts[item_ids] >= min_item
+        )
+        if keep.all():
+            break
+        user_ids = user_ids[keep]
+        item_ids = item_ids[keep]
+    return user_ids, item_ids
+
+
+def preprocess(
+    user_ids: np.ndarray,
+    item_ids: np.ndarray,
+    tag_item_ids: np.ndarray,
+    tag_ids: np.ndarray,
+    config: Optional[PreprocessConfig] = None,
+    ratings: Optional[np.ndarray] = None,
+    name: str = "preprocessed",
+) -> TagRecDataset:
+    """Run the full pipeline and return a densely re-indexed dataset.
+
+    Steps: (1) optional rating binarisation, (2) 10-core user/item
+    filtering, (3) restrict tag assignments to surviving items,
+    (4) min-support tag filtering, (5) dense re-indexing of all ids.
+    """
+    config = config or PreprocessConfig()
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    item_ids = np.asarray(item_ids, dtype=np.int64)
+    tag_item_ids = np.asarray(tag_item_ids, dtype=np.int64)
+    tag_ids = np.asarray(tag_ids, dtype=np.int64)
+
+    if ratings is not None:
+        user_ids, item_ids = binarize_ratings(
+            user_ids, item_ids, ratings, config.rating_threshold
+        )
+
+    user_ids, item_ids = k_core_filter(
+        user_ids,
+        item_ids,
+        config.min_user_interactions,
+        config.min_item_interactions,
+    )
+    if len(user_ids) == 0:
+        raise ValueError(
+            "no interactions survive preprocessing; thresholds "
+            f"(user>={config.min_user_interactions}, "
+            f"item>={config.min_item_interactions}) are too strict"
+        )
+
+    surviving_items = np.unique(item_ids)
+    item_mask = np.zeros(tag_item_ids.max() + 1 if len(tag_item_ids) else 1, dtype=bool)
+    item_mask[surviving_items[surviving_items < len(item_mask)]] = True
+    keep_tags = np.zeros(len(tag_item_ids), dtype=bool)
+    in_range = tag_item_ids < len(item_mask)
+    keep_tags[in_range] = item_mask[tag_item_ids[in_range]]
+    tag_item_ids = tag_item_ids[keep_tags]
+    tag_ids = tag_ids[keep_tags]
+
+    # Tag min-support: each tag must label at least ``min_tag_items`` items.
+    if len(tag_ids):
+        support = np.bincount(tag_ids)
+        keep = support[tag_ids] >= config.min_tag_items
+        tag_item_ids = tag_item_ids[keep]
+        tag_ids = tag_ids[keep]
+
+    # Dense re-indexing.
+    user_map = _dense_map(user_ids)
+    item_map = _dense_map(np.concatenate([item_ids, tag_item_ids]))
+    tag_map = _dense_map(tag_ids)
+
+    return TagRecDataset(
+        num_users=len(user_map),
+        num_items=len(item_map),
+        num_tags=max(len(tag_map), 1),
+        user_ids=_apply_map(user_map, user_ids),
+        item_ids=_apply_map(item_map, item_ids),
+        tag_item_ids=_apply_map(item_map, tag_item_ids),
+        tag_ids=_apply_map(tag_map, tag_ids),
+        name=name,
+    )
+
+
+def preprocess_dataset(
+    dataset: TagRecDataset, config: Optional[PreprocessConfig] = None
+) -> TagRecDataset:
+    """Apply :func:`preprocess` to an existing dataset."""
+    return preprocess(
+        dataset.user_ids,
+        dataset.item_ids,
+        dataset.tag_item_ids,
+        dataset.tag_ids,
+        config=config,
+        name=dataset.name,
+    )
+
+
+def _dense_map(ids: np.ndarray) -> dict:
+    unique = np.unique(ids)
+    return {int(old): new for new, old in enumerate(unique)}
+
+
+def _apply_map(mapping: dict, ids: np.ndarray) -> np.ndarray:
+    if len(ids) == 0:
+        return ids.astype(np.int64)
+    return np.asarray([mapping[int(i)] for i in ids], dtype=np.int64)

@@ -1,0 +1,141 @@
+"""Negative sampling and batch iteration for BPR-style training.
+
+Section V.D: every positive pair is matched with one sampled negative;
+batch size 1024.  Two samplers are provided — one over user-item
+interactions (for ``L_UV``, Eq. 1) and one over item-tag assignments
+(for ``L_VT``, Eq. 2, "recommending tags to items").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .dataset import TagRecDataset
+
+
+@dataclass
+class TripletBatch:
+    """A batch of (anchor, positive, negative) index triplets."""
+
+    anchors: np.ndarray
+    positives: np.ndarray
+    negatives: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+
+class BPRSampler:
+    """Uniform BPR triplet sampler over user-item interactions.
+
+    Negatives are drawn uniformly from the item universe and rejected if
+    they appear in the anchor user's training set (resampled up to a
+    bounded number of rounds — with the sparse matrices of Table I the
+    first draw almost always succeeds).
+    """
+
+    def __init__(self, dataset: TagRecDataset, seed: int = 0) -> None:
+        self._num_items = dataset.num_items
+        self._users = dataset.user_ids
+        self._items = dataset.item_ids
+        self._positives: List[set] = [
+            set(items.tolist()) for items in dataset.items_of_user()
+        ]
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_positives(self) -> int:
+        return len(self._users)
+
+    def sample_negatives(self, anchors: np.ndarray, rounds: int = 20) -> np.ndarray:
+        """Draw one negative item per anchor user."""
+        negatives = self._rng.integers(0, self._num_items, size=len(anchors))
+        for _ in range(rounds):
+            clashes = np.fromiter(
+                (neg in self._positives[u] for u, neg in zip(anchors, negatives)),
+                dtype=bool,
+                count=len(anchors),
+            )
+            if not clashes.any():
+                break
+            negatives[clashes] = self._rng.integers(0, self._num_items, size=clashes.sum())
+        return negatives
+
+    def epoch(self, batch_size: int = 1024, shuffle: bool = True) -> Iterator[TripletBatch]:
+        """Yield triplet batches covering every positive once."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = (
+            self._rng.permutation(self.num_positives)
+            if shuffle
+            else np.arange(self.num_positives)
+        )
+        for start in range(0, len(order), batch_size):
+            index = order[start : start + batch_size]
+            anchors = self._users[index]
+            positives = self._items[index]
+            negatives = self.sample_negatives(anchors)
+            yield TripletBatch(anchors, positives, negatives)
+
+
+class ItemTagSampler:
+    """BPR triplet sampler over item-tag assignments (Eq. 2).
+
+    Anchors are items, positives their assigned tags, negatives uniform
+    tags not assigned to the anchor item.
+    """
+
+    def __init__(self, dataset: TagRecDataset, seed: int = 0) -> None:
+        self._num_tags = dataset.num_tags
+        self._items = dataset.tag_item_ids
+        self._tags = dataset.tag_ids
+        self._positives: List[set] = [
+            set(tags.tolist()) for tags in dataset.tags_of_item()
+        ]
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def num_positives(self) -> int:
+        return len(self._items)
+
+    def sample_negatives(self, anchors: np.ndarray, rounds: int = 20) -> np.ndarray:
+        """Draw one negative tag per anchor item."""
+        negatives = self._rng.integers(0, self._num_tags, size=len(anchors))
+        for _ in range(rounds):
+            clashes = np.fromiter(
+                (neg in self._positives[v] for v, neg in zip(anchors, negatives)),
+                dtype=bool,
+                count=len(anchors),
+            )
+            if not clashes.any():
+                break
+            negatives[clashes] = self._rng.integers(0, self._num_tags, size=clashes.sum())
+        return negatives
+
+    def epoch(self, batch_size: int = 1024, shuffle: bool = True) -> Iterator[TripletBatch]:
+        """Yield triplet batches covering every item-tag pair once."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        order = (
+            self._rng.permutation(self.num_positives)
+            if shuffle
+            else np.arange(self.num_positives)
+        )
+        for start in range(0, len(order), batch_size):
+            index = order[start : start + batch_size]
+            anchors = self._items[index]
+            positives = self._tags[index]
+            negatives = self.sample_negatives(anchors)
+            yield TripletBatch(anchors, positives, negatives)
+
+
+def sample_item_batches(
+    num_items: int, batch_size: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Yield shuffled item-index batches (for the alignment losses)."""
+    order = rng.permutation(num_items)
+    for start in range(0, num_items, batch_size):
+        yield order[start : start + batch_size]

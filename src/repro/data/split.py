@@ -1,0 +1,90 @@
+"""Train/validation/test splitting.
+
+Section V.B: per-user random split of interactions into 7:1:2.  Users
+whose interaction count cannot fill all three parts keep at least one
+training interaction; validation/test may be empty for such users (the
+evaluator skips them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .dataset import TagRecDataset
+
+
+@dataclass(frozen=True)
+class Split:
+    """The three interaction subsets sharing one entity universe."""
+
+    train: TagRecDataset
+    valid: TagRecDataset
+    test: TagRecDataset
+
+    def __post_init__(self) -> None:
+        total = (
+            self.train.num_interactions
+            + self.valid.num_interactions
+            + self.test.num_interactions
+        )
+        if total == 0:
+            raise ValueError("empty split")
+
+
+def split_dataset(
+    dataset: TagRecDataset,
+    ratios: Tuple[float, float, float] = (0.7, 0.1, 0.2),
+    seed: int = 0,
+) -> Split:
+    """Split each user's interactions by the given ratios.
+
+    Args:
+        dataset: the full dataset.
+        ratios: (train, valid, test) fractions; must sum to 1.
+        seed: RNG seed controlling the permutation.
+
+    Returns:
+        A :class:`Split`; all three parts share the item-tag matrix.
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if min(ratios) < 0:
+        raise ValueError(f"ratios must be non-negative, got {ratios}")
+    rng = np.random.default_rng(seed)
+
+    train_u, train_v = [], []
+    valid_u, valid_v = [], []
+    test_u, test_v = [], []
+    for user, items in enumerate(dataset.items_of_user()):
+        items = np.unique(items)
+        if len(items) == 0:
+            continue
+        perm = rng.permutation(items)
+        n = len(perm)
+        n_train = max(int(round(ratios[0] * n)), 1)
+        n_valid = int(round(ratios[1] * n))
+        n_train = min(n_train, n)
+        n_valid = min(n_valid, n - n_train)
+        train_items = perm[:n_train]
+        valid_items = perm[n_train : n_train + n_valid]
+        test_items = perm[n_train + n_valid :]
+        train_u.append(np.full(len(train_items), user))
+        train_v.append(train_items)
+        valid_u.append(np.full(len(valid_items), user))
+        valid_v.append(valid_items)
+        test_u.append(np.full(len(test_items), user))
+        test_v.append(test_items)
+
+    def build(users, items, suffix):
+        users = np.concatenate(users) if users else np.empty(0, dtype=np.int64)
+        items = np.concatenate(items) if items else np.empty(0, dtype=np.int64)
+        return dataset.with_interactions(users, items, name=f"{dataset.name}-{suffix}")
+
+    return Split(
+        train=build(train_u, train_v, "train"),
+        valid=build(valid_u, valid_v, "valid"),
+        test=build(test_u, test_v, "test"),
+    )

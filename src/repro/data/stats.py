@@ -1,0 +1,59 @@
+"""Dataset statistics in the format of the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import TagRecDataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The nine statistics reported per dataset in Table I."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_tags: int
+    num_interactions: int
+    interaction_density_pct: float
+    interaction_avg_degree: float
+    num_tag_assignments: int
+    tag_density_pct: float
+    tag_avg_degree: float
+
+    def as_row(self) -> dict:
+        """Dictionary keyed like the Table I row labels."""
+        return {
+            "#User": self.num_users,
+            "#Item": self.num_items,
+            "#Tag": self.num_tags,
+            "#UI": self.num_interactions,
+            "UI Density": f"{self.interaction_density_pct:.2f}%",
+            "UI Avg. degree": f"{self.interaction_avg_degree:.2f}",
+            "#IT": self.num_tag_assignments,
+            "IT Density": f"{self.tag_density_pct:.2f}%",
+            "IT Avg. degree": f"{self.tag_avg_degree:.2f}",
+        }
+
+
+def compute_statistics(dataset: TagRecDataset) -> DatasetStatistics:
+    """Compute Table I statistics for a dataset.
+
+    Average degrees follow the paper's convention: ``#UI / |U|`` for the
+    interaction matrix and ``#IT / |V|`` for the tag matrix.
+    """
+    n_ui = dataset.num_interactions
+    n_it = dataset.num_tag_assignments
+    return DatasetStatistics(
+        name=dataset.name,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_tags=dataset.num_tags,
+        num_interactions=n_ui,
+        interaction_density_pct=100.0 * dataset.interaction_density(),
+        interaction_avg_degree=n_ui / dataset.num_users if dataset.num_users else 0.0,
+        num_tag_assignments=n_it,
+        tag_density_pct=100.0 * dataset.tag_density(),
+        tag_avg_degree=n_it / dataset.num_items if dataset.num_items else 0.0,
+    )

@@ -1,0 +1,60 @@
+"""Evaluation layer: ranking metrics, full-ranking evaluator, popularity
+groups, cold-start subsets, and significance testing."""
+
+from .diversity import (
+    DiversityReport,
+    catalogue_coverage,
+    evaluate_diversity,
+    intra_list_diversity,
+    novelty,
+    tag_entropy,
+)
+from .evaluator import EvalResult, Evaluator
+from .groups import (
+    group_recall_contributions,
+    normalize_per_group,
+    popularity_groups,
+    sparse_user_subset,
+)
+from .metrics import (
+    METRIC_FUNCTIONS,
+    average_precision_at_n,
+    hit_rate_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    rank_items,
+    recall_at_n,
+)
+from .significance import TTestResult, paired_t_test
+from .tag_ranking import (
+    TagRankingResult,
+    evaluate_tag_ranking,
+    split_tag_assignments,
+)
+
+__all__ = [
+    "DiversityReport",
+    "EvalResult",
+    "Evaluator",
+    "METRIC_FUNCTIONS",
+    "TTestResult",
+    "TagRankingResult",
+    "average_precision_at_n",
+    "catalogue_coverage",
+    "evaluate_diversity",
+    "evaluate_tag_ranking",
+    "group_recall_contributions",
+    "hit_rate_at_n",
+    "intra_list_diversity",
+    "ndcg_at_n",
+    "normalize_per_group",
+    "novelty",
+    "paired_t_test",
+    "popularity_groups",
+    "precision_at_n",
+    "rank_items",
+    "recall_at_n",
+    "sparse_user_subset",
+    "split_tag_assignments",
+    "tag_entropy",
+]

@@ -1,0 +1,140 @@
+"""Beyond-accuracy metrics: coverage, diversity, novelty.
+
+The paper's opening sentence promises "accurate and diverse
+recommendation services"; its evaluation reports accuracy only.  These
+metrics complete the picture and power the extension bench
+(``bench_ext_diversity.py``):
+
+- **catalogue coverage** — fraction of the item universe that appears
+  in at least one user's top-N list;
+- **intra-list diversity (ILD)** — mean pairwise dissimilarity of the
+  items inside one list, measured on the item-tag vectors (1 - cosine);
+- **novelty** — mean self-information ``-log2 p(v)`` of recommended
+  items under the training popularity distribution (recommending only
+  head items scores low);
+- **tag entropy** — entropy of the tag distribution over a list,
+  capturing how many distinct intents a list serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.dataset import TagRecDataset
+from .metrics import rank_items
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Aggregate beyond-accuracy metrics over all evaluated users."""
+
+    coverage: float
+    intra_list_diversity: float
+    novelty: float
+    tag_entropy: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "coverage": self.coverage,
+            "ILD": self.intra_list_diversity,
+            "novelty": self.novelty,
+            "tag_entropy": self.tag_entropy,
+        }
+
+
+def catalogue_coverage(lists: Sequence[np.ndarray], num_items: int) -> float:
+    """Fraction of the catalogue recommended to at least one user."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    seen: set = set()
+    for items in lists:
+        seen.update(int(i) for i in items)
+    return len(seen) / num_items
+
+
+def intra_list_diversity(
+    items: np.ndarray, tag_matrix: sp.csr_matrix
+) -> float:
+    """Mean pairwise (1 - cosine) over the item-tag vectors of one list.
+
+    Items without tags contribute maximal dissimilarity against tagged
+    items (their tag vector is the zero vector).
+    """
+    if len(items) < 2:
+        return 0.0
+    vectors = np.asarray(tag_matrix[items].todense(), dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    unit = np.divide(vectors, norms, out=np.zeros_like(vectors), where=norms > 0)
+    sims = unit @ unit.T
+    n = len(items)
+    upper = sims[np.triu_indices(n, k=1)]
+    return float((1.0 - upper).mean())
+
+
+def novelty(items: np.ndarray, item_popularity: np.ndarray) -> float:
+    """Mean self-information ``-log2 p(v)`` of the recommended items.
+
+    ``item_popularity`` holds training interaction counts; unseen items
+    get a half-count so their information content stays finite.
+    """
+    counts = np.asarray(item_popularity, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = np.maximum(counts[items], 0.5) / total
+    return float(-np.log2(probs).mean())
+
+
+def tag_entropy(items: np.ndarray, tag_matrix: sp.csr_matrix) -> float:
+    """Shannon entropy (bits) of the tag histogram of one list."""
+    histogram = np.asarray(tag_matrix[items].sum(axis=0)).ravel()
+    total = histogram.sum()
+    if total <= 0:
+        return 0.0
+    probs = histogram[histogram > 0] / total
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def evaluate_diversity(
+    model,
+    train: TagRecDataset,
+    test: TagRecDataset,
+    top_n: int = 20,
+    chunk_size: int = 256,
+) -> DiversityReport:
+    """Compute all beyond-accuracy metrics for a trained model.
+
+    Lists are built with the same protocol as the accuracy evaluator:
+    per user with a non-empty test set, rank all items outside the
+    training set and keep the top-``top_n``.
+    """
+    tag_matrix = train.tag_matrix()
+    popularity = train.item_degrees()
+    train_items = train.items_of_user()
+    test_items = test.items_of_user()
+    eval_users = [
+        u for u in range(test.num_users) if len(test_items[u]) > 0
+    ]
+
+    lists: List[np.ndarray] = []
+    for start in range(0, len(eval_users), chunk_size):
+        users = np.asarray(eval_users[start : start + chunk_size])
+        scores = np.asarray(model.all_scores(users))
+        for row, user in enumerate(users):
+            exclude = set(train_items[user].tolist())
+            lists.append(rank_items(scores[row], exclude, top_n))
+
+    if not lists:
+        return DiversityReport(0.0, 0.0, 0.0, 0.0)
+    return DiversityReport(
+        coverage=catalogue_coverage(lists, train.num_items),
+        intra_list_diversity=float(
+            np.mean([intra_list_diversity(l, tag_matrix) for l in lists])
+        ),
+        novelty=float(np.mean([novelty(l, popularity) for l in lists])),
+        tag_entropy=float(np.mean([tag_entropy(l, tag_matrix) for l in lists])),
+    )

@@ -1,0 +1,107 @@
+"""Full-ranking evaluation masking training items.
+
+Evaluation protocol of Section V.B: for each user with a non-empty test
+set, rank all items not in the user's training set and measure
+Recall@N / NDCG@N against the held-out items.  Scores come from the
+model's ``all_scores()`` in user chunks so NeuMF-style pairwise scorers
+stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import TagRecDataset
+from .metrics import METRIC_FUNCTIONS, rank_items
+
+
+@dataclass
+class EvalResult:
+    """Mean metrics plus the per-user values for significance tests."""
+
+    metrics: Dict[str, float]
+    per_user: Dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+    user_ids: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0, int))
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def summary(self) -> str:
+        return ", ".join(f"{k}={v:.4f}" for k, v in sorted(self.metrics.items()))
+
+
+class Evaluator:
+    """Evaluates a scoring model on a train/test interaction pair.
+
+    Args:
+        train: training interactions (masked out of the ranking).
+        test: held-out interactions defining relevance.
+        top_n: cutoff list, e.g. ``(20,)`` for the paper's tables.
+        metrics: metric names from :data:`METRIC_FUNCTIONS`.
+        user_subset: optionally restrict to a user subset (cold-start
+            analysis, Fig. 8).
+    """
+
+    def __init__(
+        self,
+        train: TagRecDataset,
+        test: TagRecDataset,
+        top_n: Sequence[int] = (20,),
+        metrics: Sequence[str] = ("recall", "ndcg"),
+        user_subset: Optional[Iterable[int]] = None,
+    ) -> None:
+        unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown metrics {unknown}; available: {sorted(METRIC_FUNCTIONS)}"
+            )
+        self._train_items = train.items_of_user()
+        self._test_items = test.items_of_user()
+        self.top_n = tuple(top_n)
+        self.metric_names = tuple(metrics)
+        allowed = set(user_subset) if user_subset is not None else None
+        self.eval_users = np.asarray(
+            [
+                u
+                for u in range(test.num_users)
+                if len(self._test_items[u]) > 0
+                and (allowed is None or u in allowed)
+            ],
+            dtype=np.int64,
+        )
+
+    def evaluate(self, model, chunk_size: int = 256) -> EvalResult:
+        """Evaluate ``model`` (anything exposing ``all_scores(users)``).
+
+        ``all_scores(users)`` must return an ``(len(users), |V|)`` score
+        array without tracking gradients.
+        """
+        max_n = max(self.top_n)
+        columns: Dict[str, List[float]] = {
+            f"{m}@{n}": [] for m in self.metric_names for n in self.top_n
+        }
+        for start in range(0, len(self.eval_users), chunk_size):
+            users = self.eval_users[start : start + chunk_size]
+            scores = np.asarray(model.all_scores(users))
+            if scores.shape[0] != len(users):
+                raise ValueError(
+                    f"all_scores returned {scores.shape[0]} rows for "
+                    f"{len(users)} users"
+                )
+            for row, user in enumerate(users):
+                exclude = set(self._train_items[user].tolist())
+                relevant = set(self._test_items[user].tolist())
+                ranked = rank_items(scores[row], exclude, max_n)
+                for metric in self.metric_names:
+                    func = METRIC_FUNCTIONS[metric]
+                    for n in self.top_n:
+                        columns[f"{metric}@{n}"].append(func(ranked, relevant, n))
+        per_user = {key: np.asarray(vals) for key, vals in columns.items()}
+        means = {
+            key: float(vals.mean()) if len(vals) else 0.0
+            for key, vals in per_user.items()
+        }
+        return EvalResult(metrics=means, per_user=per_user, user_ids=self.eval_users)

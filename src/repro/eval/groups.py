@@ -1,0 +1,90 @@
+"""Item-popularity groups and cold-start user subsets.
+
+Implements the analysis protocols of Fig. 7 (five equal-size item groups
+G1..G5 by ascending popularity; each group's *contribution* to overall
+Recall@20) and Fig. 8 (sparse users with fewer than 10 training
+interactions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data.dataset import TagRecDataset
+from .metrics import rank_items
+
+
+def popularity_groups(train: TagRecDataset, num_groups: int = 5) -> List[np.ndarray]:
+    """Split items into equal-size groups by ascending training degree.
+
+    Group 1 holds the least-interacted (long-tail) items, matching the
+    paper's ``G_1``; group ``num_groups`` holds the most popular.
+    """
+    if num_groups <= 0:
+        raise ValueError(f"num_groups must be positive, got {num_groups}")
+    degrees = train.item_degrees()
+    order = np.argsort(degrees, kind="stable")
+    return [np.asarray(chunk) for chunk in np.array_split(order, num_groups)]
+
+
+def group_recall_contributions(
+    model,
+    train: TagRecDataset,
+    test: TagRecDataset,
+    groups: Sequence[np.ndarray],
+    top_n: int = 20,
+    chunk_size: int = 256,
+) -> np.ndarray:
+    """Per-group contribution to overall Recall@``top_n``.
+
+    Following SGL's protocol (used by the paper for Fig. 7), each user's
+    recall is decomposed by which group the *hit* items belong to; the
+    result sums to the overall recall across groups.
+    """
+    group_of_item = np.empty(train.num_items, dtype=np.int64)
+    for g, members in enumerate(groups):
+        group_of_item[members] = g
+
+    train_items = train.items_of_user()
+    test_items = test.items_of_user()
+    eval_users = [u for u in range(test.num_users) if len(test_items[u]) > 0]
+
+    contributions = np.zeros(len(groups))
+    for start in range(0, len(eval_users), chunk_size):
+        users = np.asarray(eval_users[start : start + chunk_size])
+        scores = np.asarray(model.all_scores(users))
+        for row, user in enumerate(users):
+            exclude = set(train_items[user].tolist())
+            relevant = set(test_items[user].tolist())
+            if not relevant:
+                continue
+            ranked = rank_items(scores[row], exclude, top_n)
+            for item in ranked:
+                if item in relevant:
+                    contributions[group_of_item[item]] += 1.0 / len(relevant)
+    return contributions / max(len(eval_users), 1)
+
+
+def sparse_user_subset(train: TagRecDataset, max_interactions: int = 10) -> np.ndarray:
+    """Users with fewer than ``max_interactions`` training interactions.
+
+    The paper follows [59] to build this cold-start subset (Fig. 8).
+    """
+    degrees = train.user_degrees()
+    return np.where(degrees < max_interactions)[0]
+
+
+def normalize_per_group(values: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Normalise each group/column into [0, 1] by the best method.
+
+    Matches the presentation of Figs. 7-8: per group (or dataset), every
+    method's value is divided by the maximum across methods.
+    """
+    if not values:
+        return {}
+    matrix = np.stack(list(values.values()))
+    best = matrix.max(axis=0)
+    best = np.where(best > 0, best, 1.0)
+    return {name: vals / best for name, vals in values.items()}

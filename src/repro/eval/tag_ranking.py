@@ -1,0 +1,96 @@
+"""Tag-recommendation evaluation: ranking tags for items.
+
+Section III.B frames ``L_VT`` as "recommending tags to items based on
+the previous item-tag pairing history".  This evaluator measures that
+auxiliary task directly: hold out a fraction of each item's tags, rank
+the full vocabulary with the model's item-tag scorer, and compute
+Recall@N / NDCG@N — a useful diagnostic for whether the tag embeddings
+carry semantic signal before the alignment consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..data.dataset import TagRecDataset
+from ..nn import no_grad
+from .metrics import ndcg_at_n, rank_items, recall_at_n
+
+
+def split_tag_assignments(
+    dataset: TagRecDataset, holdout: float = 0.3, seed: int = 0
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Per-item split of tag assignments into (observed, held-out).
+
+    Items keep at least one observed tag; items with a single tag get
+    no held-out part (skipped by the evaluator).
+    """
+    if not 0.0 < holdout < 1.0:
+        raise ValueError(f"holdout must be in (0, 1), got {holdout}")
+    rng = np.random.default_rng(seed)
+    observed: List[np.ndarray] = []
+    held_out: List[np.ndarray] = []
+    for tags in dataset.tags_of_item():
+        tags = np.asarray(tags)
+        if len(tags) < 2:
+            observed.append(tags)
+            held_out.append(np.empty(0, dtype=np.int64))
+            continue
+        perm = rng.permutation(tags)
+        n_out = max(int(round(holdout * len(tags))), 1)
+        n_out = min(n_out, len(tags) - 1)
+        held_out.append(perm[:n_out])
+        observed.append(perm[n_out:])
+    return observed, held_out
+
+
+@dataclass(frozen=True)
+class TagRankingResult:
+    """Mean tag-recommendation metrics over evaluable items."""
+
+    recall: float
+    ndcg: float
+    num_items: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {"recall": self.recall, "ndcg": self.ndcg}
+
+
+def evaluate_tag_ranking(
+    item_embeddings: np.ndarray,
+    tag_embeddings: np.ndarray,
+    observed: List[np.ndarray],
+    held_out: List[np.ndarray],
+    top_n: int = 10,
+) -> TagRankingResult:
+    """Rank tags per item by inner product; score against held-out tags.
+
+    Args:
+        item_embeddings: ``(|V|, d)`` array.
+        tag_embeddings: ``(|T|, d)`` array.
+        observed: per-item observed tags (masked out of the ranking).
+        held_out: per-item held-out tags (the relevance sets).
+        top_n: cutoff ``N``.
+    """
+    with no_grad():
+        scores = np.asarray(item_embeddings) @ np.asarray(tag_embeddings).T
+    recalls: List[float] = []
+    ndcgs: List[float] = []
+    for item, relevant in enumerate(held_out):
+        if len(relevant) == 0:
+            continue
+        exclude = set(np.asarray(observed[item]).tolist())
+        ranked = rank_items(scores[item], exclude, top_n)
+        relevant_set = set(relevant.tolist())
+        recalls.append(recall_at_n(list(ranked), relevant_set, top_n))
+        ndcgs.append(ndcg_at_n(list(ranked), relevant_set, top_n))
+    if not recalls:
+        return TagRankingResult(recall=0.0, ndcg=0.0, num_items=0)
+    return TagRankingResult(
+        recall=float(np.mean(recalls)),
+        ndcg=float(np.mean(ndcgs)),
+        num_items=len(recalls),
+    )

@@ -1,0 +1,55 @@
+"""Model persistence: save/load parameter state as compressed ``.npz``.
+
+Works with any :class:`repro.nn.Module` via its ``state_dict`` —
+backbones, baselines, and the full IMCAT wrapper.  IMCAT's non-parameter
+training state (hard tag clusters, clustering-phase flag) is stored
+alongside so a reloaded model scores identically and can resume
+cluster-dependent behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .nn import Module
+
+_META_PREFIX = "__meta__"
+
+
+def save_model(model: Module, path: str) -> None:
+    """Serialise ``model``'s parameters (and IMCAT state) to ``path``."""
+    payload = dict(model.state_dict())
+    if hasattr(model, "tag_clusters"):
+        payload[f"{_META_PREFIX}tag_clusters"] = np.asarray(model.tag_clusters)
+        payload[f"{_META_PREFIX}clustering_active"] = np.asarray(
+            getattr(model, "clustering_active", False)
+        )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    The module must have the same architecture (same parameter names
+    and shapes).  Returns the model for chaining.
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = f"{path}.npz"
+    with np.load(path) as archive:
+        state = {}
+        for key in archive.files:
+            if key.startswith(_META_PREFIX):
+                continue
+            state[key] = archive[key]
+        model.load_state_dict(state)
+        clusters_key = f"{_META_PREFIX}tag_clusters"
+        if clusters_key in archive.files and hasattr(model, "tag_clusters"):
+            model.tag_clusters = archive[clusters_key].astype(np.int64)
+            model.clustering_active = bool(
+                archive[f"{_META_PREFIX}clustering_active"]
+            )
+    return model

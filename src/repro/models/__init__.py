@@ -1,0 +1,21 @@
+"""Recommendation models: the three backbones, the baseline zoo, and the
+shared training loop."""
+
+from .base import Recommender, TagAwareRecommender
+from .bprmf import BPRMF
+from .lightgcn import LightGCN
+from .neumf import NeuMF
+from .training import TrainConfig, TrainResult, fit_bpr
+from . import baselines
+
+__all__ = [
+    "BPRMF",
+    "LightGCN",
+    "NeuMF",
+    "Recommender",
+    "TagAwareRecommender",
+    "TrainConfig",
+    "TrainResult",
+    "baselines",
+    "fit_bpr",
+]

@@ -1,0 +1,36 @@
+"""Baseline methods compared against IMCAT in Table II.
+
+Four families, matching Section V.C:
+
+- tag-enhanced: :class:`CFA`, :class:`DSPR`, :class:`TGCN`;
+- KG-enhanced (tags as a single-relation KG): :class:`CKE`,
+  :class:`RippleNet`, :class:`KGAT`, :class:`KGIN`;
+- SSL-based: :class:`SGL`, :class:`KGCL`;
+- (the no-auxiliary backbones live in ``repro.models``).
+"""
+
+from .cfa import CFA
+from .dgcf import DGCF
+from .cke import CKE
+from .dspr import DSPR
+from .fm import FM
+from .kgat import KGAT
+from .kgcl import KGCL
+from .kgin import KGIN
+from .ripplenet import RippleNet
+from .sgl import SGL
+from .tgcn import TGCN
+
+__all__ = [
+    "CFA",
+    "CKE",
+    "DGCF",
+    "DSPR",
+    "FM",
+    "KGAT",
+    "KGCL",
+    "KGIN",
+    "RippleNet",
+    "SGL",
+    "TGCN",
+]

@@ -1,0 +1,120 @@
+"""Factorization Machine baseline (Rendle, 2010).
+
+The classic feature-based route to tag-aware recommendation the paper
+cites as reference [3]: each (user, item) pair is described by the
+one-hot features {user, item, tags-of-item}, and the FM scores
+
+    y(x) = w0 + sum_f w_f + sum_{f<g} <e_f, e_g>
+
+over the active features.  With the active set fixed to
+``{u, v} ∪ T(v)`` the pairwise term decomposes into
+
+    <e_u, z_v> + c_v,    z_v = e_v + sum_t e_t,
+    c_v = <e_v, s_v> + sum_{t<t'} <e_t, e_t'>   (user-independent),
+
+so full ranking costs one ``|U| x d`` by ``d x |V|`` product — the FM
+trick of linear-time pairwise interactions, exploited here for both the
+training path (autograd) and evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...data.dataset import TagRecDataset
+from ...nn import Parameter, Tensor, no_grad
+from ...nn import functional as F
+from ..base import TagAwareRecommender
+
+
+class FM(TagAwareRecommender):
+    """Second-order factorization machine over user/item/tag features.
+
+    Args:
+        dataset: supplies the item-tag assignments.
+        embed_dim: latent factor size.
+    """
+
+    def __init__(
+        self,
+        dataset: TagRecDataset,
+        embed_dim: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(dataset, embed_dim, rng)
+        self.user_bias = Parameter(np.zeros(dataset.num_users))
+        self.item_bias = Parameter(np.zeros(dataset.num_items))
+        self.tag_bias = Parameter(np.zeros(dataset.num_tags))
+        # Constant per-item tag membership (items -> padded tag lists).
+        self._tags_of_item = dataset.tags_of_item()
+        self._tag_counts = np.array(
+            [len(t) for t in self._tags_of_item], dtype=np.int64
+        )
+        flat = np.concatenate(
+            [t for t in self._tags_of_item if len(t)]
+        ) if self._tag_counts.sum() else np.empty(0, dtype=np.int64)
+        segments = np.repeat(np.arange(dataset.num_items), self._tag_counts)
+        self._flat_tags = flat
+        self._tag_segments = segments
+
+    # ------------------------------------------------------------------
+    # item-side aggregates (differentiable)
+    # ------------------------------------------------------------------
+    def _item_aggregates(self):
+        """Return ``(z, c, b)``: interaction vector, pairwise constant,
+        and summed bias per item."""
+        tag_table = self.tag_embedding.all()
+        if len(self._flat_tags):
+            rows = F.embedding_lookup(tag_table, self._flat_tags)
+            sums = F.segment_mean(rows, self._tag_segments, self.num_items)
+            # segment_mean divides by counts; rescale to plain sums.
+            s = F.scale_rows(sums, np.maximum(self._tag_counts, 1))
+            sq_rows = rows * rows
+            sq_mean = F.segment_mean(sq_rows, self._tag_segments, self.num_items)
+            sum_sq = F.scale_rows(
+                sq_mean, np.maximum(self._tag_counts, 1)
+            ).sum(axis=1)
+        else:
+            s = Tensor(np.zeros((self.num_items, self.embed_dim)))
+            sum_sq = Tensor(np.zeros(self.num_items))
+        v = self.item_embedding.all()
+        z = v + s
+        # Pairwise terms internal to the item's feature set:
+        # <v, s> + 0.5 (||s||^2 - sum_t ||t||^2).
+        vs = (v * s).sum(axis=1)
+        ss = (s * s).sum(axis=1)
+        c = vs + (ss - sum_sq) * 0.5
+        if len(self._flat_tags):
+            tag_bias_rows = F.embedding_lookup(
+                self.tag_bias.reshape(-1, 1), self._flat_tags
+            )
+            tag_bias_sum = F.scale_rows(
+                F.segment_mean(tag_bias_rows, self._tag_segments, self.num_items),
+                np.maximum(self._tag_counts, 1),
+            ).reshape(-1)
+        else:
+            tag_bias_sum = Tensor(np.zeros(self.num_items))
+        b = self.item_bias + tag_bias_sum
+        return z, c, b
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        z, c, b = self._item_aggregates()
+        u = self.user_embedding(users)
+        z_batch = z[items]
+        interaction = (u * z_batch).sum(axis=1)
+        return (
+            interaction
+            + c[items]
+            + b[items]
+            + self.user_bias[users]
+        )
+
+    def all_scores(self, users: np.ndarray) -> np.ndarray:
+        with no_grad():
+            z, c, b = self._item_aggregates()
+            u = self.user_embedding.all().data[users]
+            scores = u @ z.data.T
+            scores += (c.data + b.data)[None, :]
+            scores += self.user_bias.data[users, None]
+            return scores

@@ -1,0 +1,128 @@
+"""SGL baseline (Wu et al., 2020): self-supervised graph learning.
+
+SGL augments the LightGCN training with a contrastive objective between
+two stochastically perturbed views of the interaction graph,
+encouraging representation consistency and robustness.  It uses no
+auxiliary information — it is the paper's SSL baseline on the pure CF
+graph.  All three of the original augmentation operators are available:
+edge dropout ("ed", the IMCAT paper's comparison setting), node dropout
+("nd"), and random walk ("rw", layer-wise independent edge dropout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import Tensor, concat, sparse_matmul
+from ...nn import functional as F
+from ...nn.sparse import (
+    drop_edges,
+    drop_nodes,
+    normalized_bipartite_adjacency,
+    random_walk_edges,
+)
+from ..lightgcn import LightGCN
+
+
+class SGL(LightGCN):
+    """LightGCN + edge-dropout contrastive views.
+
+    Args:
+        num_users / num_items / interactions / embed_dim / num_layers:
+            as for :class:`LightGCN`.
+        drop_ratio: fraction of edges removed per view.
+        ssl_weight: InfoNCE weight added to the BPR loss.
+        ssl_temperature: InfoNCE temperature.
+        ssl_batch_size: nodes sampled per contrastive step.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        interactions,
+        embed_dim: int = 64,
+        num_layers: int = 2,
+        drop_ratio: float = 0.1,
+        ssl_weight: float = 0.1,
+        ssl_temperature: float = 0.2,
+        ssl_batch_size: int = 256,
+        augmentation: str = "ed",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            num_users, num_items, interactions, embed_dim, num_layers, rng
+        )
+        if augmentation not in ("ed", "nd", "rw"):
+            raise ValueError(
+                f"augmentation must be 'ed', 'nd', or 'rw', got {augmentation!r}"
+            )
+        self.augmentation = augmentation
+        self.drop_ratio = drop_ratio
+        self.ssl_weight = ssl_weight
+        self.ssl_temperature = ssl_temperature
+        self.ssl_batch_size = ssl_batch_size
+        # Raw (un-normalised) interaction matrix for re-augmentation.
+        if not hasattr(interactions, "tocsr"):
+            from ...nn.sparse import build_interaction_matrix
+
+            user_ids, item_ids = interactions
+            interactions = build_interaction_matrix(
+                np.asarray(user_ids), np.asarray(item_ids), num_users, num_items
+            )
+        self._raw = interactions.tocsr()
+        self._aug_rng = np.random.default_rng(0)
+        self._view_adjs = None
+        self.refresh_epoch(0)
+
+    def refresh_epoch(self, epoch: int) -> None:
+        """Resample the two augmented graph views (per-epoch, as in SGL).
+
+        Each view is a list of per-layer adjacencies: ED and ND share
+        one subgraph across layers, RW re-samples per layer.
+        """
+        views = []
+        layer_count = max(self.num_layers, 1)
+        for _ in range(2):
+            if self.augmentation == "rw":
+                per_layer = [
+                    normalized_bipartite_adjacency(m)
+                    for m in random_walk_edges(
+                        self._raw, self.drop_ratio, self._aug_rng, layer_count
+                    )
+                ]
+            else:
+                drop = drop_nodes if self.augmentation == "nd" else drop_edges
+                shared = normalized_bipartite_adjacency(
+                    drop(self._raw, self.drop_ratio, self._aug_rng)
+                )
+                per_layer = [shared] * layer_count
+            views.append(per_layer)
+        self._view_adjs = views
+
+    def _propagate_view(self, adjacencies) -> Tensor:
+        ego = concat(
+            [self.user_embedding.all(), self.item_embedding.all()], axis=0
+        )
+        layers = [ego]
+        current = ego
+        for adjacency in adjacencies:
+            current = sparse_matmul(adjacency, current)
+            layers.append(current)
+        total = layers[0]
+        for layer in layers[1:]:
+            total = total + layer
+        return total * (1.0 / len(layers))
+
+    def extra_loss(self, rng: np.random.Generator) -> Tensor:
+        """InfoNCE between the two views on a sampled node batch."""
+        view1 = self._propagate_view(self._view_adjs[0])
+        view2 = self._propagate_view(self._view_adjs[1])
+        total_nodes = self.num_users + self.num_items
+        batch = rng.choice(
+            total_nodes, size=min(self.ssl_batch_size, total_nodes), replace=False
+        )
+        z1 = F.l2_normalize(view1[batch])
+        z2 = F.l2_normalize(view2[batch])
+        loss = F.info_nce(z1, z2, self.ssl_temperature)
+        return loss * (self.ssl_weight / max(len(batch), 1))

@@ -1,0 +1,34 @@
+"""BPRMF backbone: matrix factorisation trained with the BPR loss.
+
+The simplest of the paper's three backbones (Section V.C): user and item
+embedding tables scored by inner product; :class:`Recommender` already
+implements exactly this, so the class only pins the semantics down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Recommender
+
+
+class BPRMF(Recommender):
+    """Matrix-factorisation recommender with pairwise ranking loss.
+
+    ``ŷ_{uv} = u · v`` over the raw embedding tables; training minimises
+    Eq. (1).  Used as the ``B-IMCAT`` backbone.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        embed_dim: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(
+            num_users,
+            num_items,
+            embed_dim,
+            rng if rng is not None else np.random.default_rng(0),
+        )

@@ -1,0 +1,111 @@
+"""LightGCN backbone (He et al., 2020).
+
+The GNN backbone of the paper (Section V.C; two convolution layers for
+all GNN methods, Section V.D).  LightGCN removes feature transforms and
+non-linearities from graph convolution: each layer multiplies the
+stacked user/item embeddings by the symmetric-normalised bipartite
+adjacency, and the final representation is the mean over layers
+(including layer 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn import Tensor, concat, sparse_matmul
+from ..nn import functional as F
+from ..nn.sparse import build_interaction_matrix, normalized_bipartite_adjacency
+from .base import Recommender
+
+
+class LightGCN(Recommender):
+    """Simplified graph convolution collaborative filtering.
+
+    Args:
+        num_users / num_items: entity counts.
+        interactions: training interactions as ``(user_ids, item_ids)``
+            arrays or a prebuilt CSR matrix.
+        embed_dim: embedding size ``d``.
+        num_layers: propagation depth (paper: 2).
+        rng: initialisation RNG.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        interactions,
+        embed_dim: int = 64,
+        num_layers: int = 2,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(num_users, num_items, embed_dim, rng)
+        if num_layers < 0:
+            raise ValueError(f"num_layers must be >= 0, got {num_layers}")
+        self.num_layers = num_layers
+        if isinstance(interactions, sp.spmatrix):
+            matrix = interactions.tocsr()
+        else:
+            user_ids, item_ids = interactions
+            matrix = build_interaction_matrix(
+                np.asarray(user_ids), np.asarray(item_ids), num_users, num_items
+            )
+        self.adjacency = normalized_bipartite_adjacency(matrix)
+        self._propagated: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def propagate(self) -> tuple[Tensor, Tensor]:
+        """Run ``num_layers`` propagation steps; returns (users, items).
+
+        The result participates in autograd; callers inside one training
+        step can reuse it via the per-step cache (reset on parameter
+        updates by calling :meth:`invalidate_cache`).
+        """
+        ego = concat([self.user_embedding.all(), self.item_embedding.all()], axis=0)
+        layers = [ego]
+        current = ego
+        for _ in range(self.num_layers):
+            current = sparse_matmul(self.adjacency, current)
+            layers.append(current)
+        stacked = layers[0]
+        for layer in layers[1:]:
+            stacked = stacked + layer
+        final = stacked * (1.0 / len(layers))
+        users = final[np.arange(self.num_users)]
+        items = final[np.arange(self.num_users, self.num_users + self.num_items)]
+        return users, items
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached propagation (call after optimiser steps)."""
+        self._propagated = None
+
+    def begin_step(self) -> None:
+        self.invalidate_cache()
+
+    def _cached(self) -> tuple[Tensor, Tensor]:
+        if self._propagated is None:
+            self._propagated = self.propagate()
+        return self._propagated
+
+    def user_repr(self) -> Tensor:
+        return self._cached()[0]
+
+    def item_repr(self) -> Tensor:
+        return self._cached()[1]
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        u_final, v_final = self._cached()
+        u = F.embedding_lookup(u_final, users)
+        v = F.embedding_lookup(v_final, items)
+        return (u * v).sum(axis=1)
+
+    def all_scores(self, users: np.ndarray) -> np.ndarray:
+        from ..nn import no_grad
+
+        with no_grad():
+            u_final, v_final = self.propagate()
+            return u_final.data[users] @ v_final.data.T

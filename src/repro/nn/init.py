@@ -1,0 +1,42 @@
+"""Weight initialisation schemes.
+
+The paper fixes Xavier (Glorot) initialisation for all methods
+(Section V.D), so that is the default throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: ``U(-a, a)`` with ``a = gain * sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: ``N(0, std^2)`` with ``std = gain * sqrt(2 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Plain zero-mean normal initialisation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,189 @@
+"""Standard neural network layers on top of the autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .init import xavier_uniform
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W.T + b``.
+
+    Weight shape is ``(out_features, in_features)`` to match the paper's
+    notation (Eq. 10 uses ``W_0^k in R^{(d/K) x d}`` applied to a
+    ``d``-vector).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(xavier_uniform((num_embeddings, embedding_dim), rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding_lookup(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """Return the full table as a tensor participating in autograd."""
+        return self.weight
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+
+class LeakyReLU(Module):
+    """Leaky rectifier activation module."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).leaky_relu(self.negative_slope)
+
+
+class ReLU(Module):
+    """Rectifier activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).relu()
+
+
+class Sigmoid(Module):
+    """Logistic activation module."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    ``hidden`` lists the sizes of every layer after the input, e.g.
+    ``MLP(64, [32, 16, 8], rng)`` builds three affine layers with the
+    activation between them (not after the last).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        rng: np.random.Generator,
+        activation: Callable[[Tensor], Tensor] | None = None,
+        final_activation: bool = False,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not hidden:
+            raise ValueError("MLP needs at least one output layer size")
+        self._activation = activation or (lambda t: t.relu())
+        self._final_activation = final_activation
+        self._layers = []
+        self._dropouts = []
+        prev = in_features
+        for i, size in enumerate(hidden):
+            layer = Linear(prev, size, rng)
+            setattr(self, f"fc{i}", layer)
+            self._layers.append(layer)
+            if dropout > 0:
+                drop = Dropout(dropout, rng)
+                setattr(self, f"drop{i}", drop)
+                self._dropouts.append(drop)
+            else:
+                self._dropouts.append(None)
+            prev = size
+        self.out_features = prev
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self._layers) - 1
+        for i, layer in enumerate(self._layers):
+            x = layer(x)
+            if i < last or self._final_activation:
+                x = self._activation(x)
+                if self._dropouts[i] is not None:
+                    x = self._dropouts[i](x)
+        return x
+
+
+class ProjectionHead(Module):
+    """The non-linear transformation of Eq. (14).
+
+    ``z <- W2 . LeakyReLU(W1 . z + b1)``; the second layer has no bias,
+    matching the equation.  One head is instantiated per intent and is
+    shared between the user view and the item-tag view.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, dim, rng, bias=True)
+        self.fc2 = Linear(dim, dim, rng, bias=False)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.fc1(x).leaky_relu())

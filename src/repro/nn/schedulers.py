@@ -1,0 +1,108 @@
+"""Learning-rate schedulers.
+
+Small, optimiser-agnostic schedulers: each wraps an
+:class:`~repro.nn.optim.Optimizer` and rewrites its ``lr`` on
+:meth:`step`.  Used by the longer bench runs where a fixed ``1e-3``
+under-trains the miniature datasets early and over-trains late.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+
+class Scheduler:
+    """Base class: tracks the epoch counter and the base learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self.compute_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0
+    ) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {total_epochs}")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def compute_lr(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLinear(Scheduler):
+    """Linear warmup for ``warmup_epochs`` then linear decay to zero."""
+
+    def __init__(
+        self, optimizer: Optimizer, warmup_epochs: int, total_epochs: int
+    ) -> None:
+        super().__init__(optimizer)
+        if not 0 < warmup_epochs < total_epochs:
+            raise ValueError(
+                f"need 0 < warmup ({warmup_epochs}) < total ({total_epochs})"
+            )
+        self.warmup_epochs = warmup_epochs
+        self.total_epochs = total_epochs
+
+    def compute_lr(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        remaining = (self.total_epochs - epoch) / (
+            self.total_epochs - self.warmup_epochs
+        )
+        return self.base_lr * max(remaining, 0.0)
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in parameters if p.grad is not None]
+    total = 0.0
+    for param in params:
+        total += float((param.grad**2).sum())
+    norm = total**0.5
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return norm

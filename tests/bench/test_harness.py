@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchSettings, prepare_split, run_method, run_table
+
+
+FAST = BenchSettings(scale=0.04, embed_dim=16, epochs=2, batch_size=128)
+
+
+class TestPrepareSplit:
+    def test_returns_dataset_and_split(self):
+        dataset, split = prepare_split("hetrec-del", FAST)
+        assert dataset.num_users > 0
+        assert split.train.num_interactions > 0
+
+    def test_deterministic(self):
+        a_ds, a_split = prepare_split("hetrec-del", FAST)
+        b_ds, b_split = prepare_split("hetrec-del", FAST)
+        assert a_ds.num_interactions == b_ds.num_interactions
+        assert a_split.train.num_interactions == b_split.train.num_interactions
+
+
+class TestRunMethod:
+    def test_unknown_method_lists_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            run_method("hetrec-del", "GPT-Rec", FAST)
+
+    def test_cell_result_fields(self):
+        cell = run_method("hetrec-del", "BPRMF", FAST)
+        assert cell.dataset == "hetrec-del"
+        assert cell.method == "BPRMF"
+        assert 0.0 <= cell.recall <= 1.0
+        assert 0.0 <= cell.ndcg <= 1.0
+        assert cell.wall_time > 0
+        assert len(cell.per_user_recall) > 0
+
+    def test_keep_model_flag(self):
+        cell = run_method("hetrec-del", "BPRMF", FAST, keep_model=True)
+        assert cell.trained is not None
+        cell2 = run_method("hetrec-del", "BPRMF", FAST)
+        assert cell2.trained is None
+
+    def test_ablation_method_accessible(self):
+        cell = run_method("hetrec-del", "N-IMCAT w/o NLT", FAST)
+        assert cell.recall >= 0.0
+
+
+class TestRunTable:
+    def test_grid_structure(self):
+        results = run_table(["hetrec-del"], ["BPRMF", "LightGCN"], FAST)
+        assert set(results) == {"hetrec-del"}
+        assert set(results["hetrec-del"]) == {"BPRMF", "LightGCN"}
+
+    def test_shared_split_across_methods(self):
+        results = run_table(["hetrec-del"], ["BPRMF", "LightGCN"], FAST)
+        a = results["hetrec-del"]["BPRMF"]
+        b = results["hetrec-del"]["LightGCN"]
+        assert len(a.per_user_recall) == len(b.per_user_recall)
+
+
+class TestMultiSeed:
+    def test_empty_seeds_rejected(self):
+        from repro.bench import run_method_seeds
+
+        with pytest.raises(ValueError):
+            run_method_seeds("hetrec-del", "BPRMF", [], FAST)
+
+    def test_averages_over_seeds(self):
+        from repro.bench import run_method, run_method_seeds
+
+        mean_cell = run_method_seeds("hetrec-del", "BPRMF", [1, 2], FAST)
+        a = run_method("hetrec-del", "BPRMF", FAST.__class__(**{**FAST.__dict__, "train_seed": 1}))
+        b = run_method("hetrec-del", "BPRMF", FAST.__class__(**{**FAST.__dict__, "train_seed": 2}))
+        assert mean_cell.recall == pytest.approx((a.recall + b.recall) / 2)
+        assert len(mean_cell.per_user_recall) == len(a.per_user_recall)

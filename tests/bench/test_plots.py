@@ -1,0 +1,62 @@
+"""Tests for the terminal plot helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import bar_chart, series_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_levels(self):
+        spark = sparkline([1, 2, 3, 4, 5])
+        assert list(spark) == sorted(spark)
+
+    def test_constant_series_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_hit_first_and_last_level(self):
+        spark = sparkline([0.0, 1.0])
+        assert spark[0] == "▁"
+        assert spark[1] == "█"
+
+
+class TestBarChart:
+    def test_longest_bar_for_peak(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0})
+        assert "a" in chart
+
+    def test_unit_appended(self):
+        chart = bar_chart({"a": 5.0}, unit="%")
+        assert "5%" in chart
+
+
+class TestSeriesPlot:
+    def test_contains_all_series(self):
+        text = series_plot(
+            [1, 2, 4], {"L-IMCAT": [0.1, 0.3, 0.2], "base": [0.1, 0.1, 0.1]},
+            title="Fig",
+        )
+        assert "Fig" in text
+        assert "L-IMCAT" in text
+        assert "base" in text
+        assert "0.3" in text
+
+    def test_x_axis_labelled(self):
+        text = series_plot(["a", "b"], {"s": [1.0, 2.0]})
+        assert "x: a, b" in text

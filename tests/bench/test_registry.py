@@ -1,0 +1,60 @@
+"""Tests for the method registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import ABLATIONS, METHODS, build_imcat_recipe
+from repro.core import IMCATConfig
+
+
+class TestRegistryContents:
+    def test_fifteen_table2_methods(self):
+        assert len(METHODS) == 15
+
+    def test_paper_method_names_present(self):
+        expected = {
+            "BPRMF", "NeuMF", "LightGCN", "CFA", "DSPR", "TGCN",
+            "CKE", "RippleNet", "KGAT", "KGIN", "SGL", "KGCL",
+            "B-IMCAT", "N-IMCAT", "L-IMCAT",
+        }
+        assert set(METHODS) == expected
+
+    def test_ablation_variants(self):
+        for prefix in ("N", "L"):
+            for suffix in ("", " w/o UIT", " w/o UT", " w/o UI", " w/o NLT"):
+                assert f"{prefix}-IMCAT{suffix}" in ABLATIONS
+
+    def test_build_imcat_recipe_validates_backbone(self):
+        with pytest.raises(KeyError, match="unknown backbone"):
+            build_imcat_recipe("transformer", IMCATConfig())
+
+    def test_build_imcat_recipe_returns_callable(self):
+        recipe = build_imcat_recipe("bprmf", IMCATConfig(num_intents=2))
+        assert callable(recipe)
+
+
+class TestRecipeExecution:
+    def test_simple_recipe_trains(self, small_dataset, small_split):
+        trained = METHODS["BPRMF"](
+            small_dataset, small_split, 16, seed=0, epochs=2, batch_size=128
+        )
+        assert trained.wall_time > 0
+        assert trained.epochs_run == 2
+        scores = trained.model.all_scores(np.array([0]))
+        assert scores.shape == (1, small_dataset.num_items)
+
+    def test_imcat_recipe_trains(self, small_dataset, small_split):
+        trained = METHODS["B-IMCAT"](
+            small_dataset, small_split, 16, seed=0, epochs=2, batch_size=128
+        )
+        assert trained.model.all_scores(np.array([0])).shape == (
+            1, small_dataset.num_items,
+        )
+
+    def test_ablation_recipe_disables_alignment(self, small_dataset, small_split):
+        trained = ABLATIONS["N-IMCAT w/o UIT"](
+            small_dataset, small_split, 16, seed=0, epochs=1, batch_size=128
+        )
+        assert not trained.model.config.use_alignment

@@ -1,0 +1,79 @@
+"""Tests for result archival and Markdown rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import compare_results, load_results, save_results, to_markdown
+from repro.bench.harness import CellResult
+
+
+def make_cell(recall=0.2, ndcg=0.1, dataset="d1", method="m"):
+    return CellResult(
+        dataset=dataset, method=method, recall=recall, ndcg=ndcg,
+        wall_time=1.5, epochs_run=10,
+        per_user_recall=np.array([0.1, 0.3]),
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        results = {"d1": {"BPRMF": make_cell(0.25)}}
+        path = str(tmp_path / "results.json")
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded["d1"]["BPRMF"]["recall"] == 0.25
+        assert loaded["d1"]["BPRMF"]["epochs_run"] == 10
+
+    def test_per_user_vectors_not_serialised(self, tmp_path):
+        results = {"d1": {"m": make_cell()}}
+        path = str(tmp_path / "r.json")
+        save_results(results, path)
+        assert "per_user" not in open(path).read()
+
+
+class TestMarkdown:
+    def test_renders_grid(self):
+        results = {
+            "d1": {"A": make_cell(0.5), "B": make_cell(0.25)},
+        }
+        text = to_markdown(results, ["A", "B"], ["d1"])
+        assert "| A | 50.00 |" in text
+        assert "| B | 25.00 |" in text
+        assert text.startswith("| Model |")
+
+    def test_missing_cells_dashed(self):
+        text = to_markdown({}, ["A"], ["d1"])
+        assert "| A | - |" in text
+
+    def test_metric_validated(self):
+        with pytest.raises(ValueError):
+            to_markdown({}, [], [], metric="precision")
+
+    def test_ndcg_metric(self):
+        results = {"d1": {"A": make_cell(0.5, ndcg=0.4)}}
+        text = to_markdown(results, ["A"], ["d1"], metric="ndcg")
+        assert "40.00" in text
+
+
+class TestCompare:
+    def test_relative_deltas(self, tmp_path):
+        old = {"d1": {"A": make_cell(0.2)}}
+        path = str(tmp_path / "old.json")
+        save_results(old, path)
+        baseline = load_results(path)
+        current = {"d1": {"A": make_cell(0.25)}}
+        deltas = compare_results(baseline, current)
+        assert deltas["d1"]["A"] == pytest.approx(0.25)
+
+    def test_skips_unknown_entries(self):
+        baseline = {"d1": {"A": {"recall": 0.2}}}
+        current = {"d2": {"A": make_cell()}, "d1": {"B": make_cell()}}
+        deltas = compare_results(baseline, current)
+        assert deltas == {}
+
+    def test_zero_baseline_skipped(self):
+        baseline = {"d1": {"A": {"recall": 0.0}}}
+        current = {"d1": {"A": make_cell(0.2)}}
+        assert compare_results(baseline, current) == {}

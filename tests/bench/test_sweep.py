@@ -1,0 +1,78 @@
+"""Tests for the hyper-parameter grid search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PAPER_GRID, SweepResult, Trial, grid_search
+from repro.core import IMCATConfig
+
+
+class TestPaperGrid:
+    def test_matches_section_vd(self):
+        assert PAPER_GRID["alpha"] == (1e-3, 1e-2, 1e-1, 1.0, 5.0, 10.0)
+        assert PAPER_GRID["delta"] == (0.1, 0.3, 0.5, 0.7, 0.9)
+        assert PAPER_GRID["num_intents"] == (1, 2, 4, 8, 16)
+
+
+class TestSweepResult:
+    def test_best_requires_trials(self):
+        with pytest.raises(ValueError):
+            SweepResult().best
+
+    def test_best_picks_highest_metric(self):
+        result = SweepResult(
+            trials=[
+                Trial({"beta": 0.1}, 0.2, 1.0),
+                Trial({"beta": 1.0}, 0.5, 1.0),
+                Trial({"beta": 10.0}, 0.3, 1.0),
+            ]
+        )
+        assert result.best.params == {"beta": 1.0}
+
+    def test_best_config_applies_params(self):
+        result = SweepResult(trials=[Trial({"beta": 5.0, "delta": 0.5}, 0.4, 1.0)])
+        config = result.best_config(IMCATConfig())
+        assert config.beta == 5.0
+        assert config.delta == 0.5
+        assert config.alpha == IMCATConfig().alpha  # untouched default
+
+    def test_table_sorted_best_first(self):
+        result = SweepResult(
+            trials=[Trial({"beta": 0.1}, 0.2, 1.0), Trial({"beta": 1.0}, 0.5, 1.0)]
+        )
+        rows = result.table()
+        assert rows[0][1] == 0.5
+
+
+class TestGridSearch:
+    def test_empty_grid_rejected(self, small_dataset, small_split):
+        with pytest.raises(ValueError):
+            grid_search("bprmf", small_dataset, small_split, {})
+
+    def test_searches_and_ranks(self, small_dataset, small_split):
+        result = grid_search(
+            "bprmf", small_dataset, small_split,
+            {"beta": (0.0, 0.1)},
+            embed_dim=16, epochs=2, batch_size=128,
+        )
+        assert len(result.trials) == 2
+        assert {t.params["beta"] for t in result.trials} == {0.0, 0.1}
+        assert all(t.wall_time > 0 for t in result.trials)
+
+    def test_invalid_combinations_skipped(self, small_dataset, small_split):
+        # K=3 does not divide embed_dim=16: silently skipped.
+        result = grid_search(
+            "bprmf", small_dataset, small_split,
+            {"num_intents": (2, 3, 4)},
+            embed_dim=16, epochs=1, batch_size=128,
+        )
+        assert {t.params["num_intents"] for t in result.trials} == {2, 4}
+
+    def test_max_trials_caps(self, small_dataset, small_split):
+        result = grid_search(
+            "bprmf", small_dataset, small_split,
+            {"beta": (0.0, 0.1, 0.5, 1.0)},
+            embed_dim=16, epochs=1, batch_size=128, max_trials=2,
+        )
+        assert len(result.trials) == 2

@@ -1,0 +1,52 @@
+"""Tests for table/series formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_series, format_table, format_table2, normalize_series
+from repro.bench.harness import CellResult
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1.0, "x"], [2.5, "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.00" in text
+        assert "yy" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+
+
+class TestFormatTable2:
+    def _cell(self, recall, ndcg):
+        return CellResult(
+            dataset="d", method="m", recall=recall, ndcg=ndcg,
+            wall_time=1.0, epochs_run=1,
+        )
+
+    def test_renders_percentages(self):
+        results = {"d1": {"BPRMF": self._cell(0.1234, 0.0567)}}
+        text = format_table2(results, ["BPRMF"], ["d1"])
+        assert "12.34" in text
+        assert "5.67" in text
+
+    def test_missing_cells_dashed(self):
+        text = format_table2({}, ["BPRMF"], ["d1"])
+        assert "-" in text
+
+
+class TestSeries:
+    def test_format_series(self):
+        text = format_series("K", [1, 2, 4], {"L-IMCAT": [0.1, 0.2, 0.3]})
+        assert "L-IMCAT" in text
+        assert "0.30" in text
+
+    def test_normalize_series_best_is_one(self):
+        series = {"a": [1.0, 4.0], "b": [2.0, 2.0]}
+        normalized = normalize_series(series)
+        np.testing.assert_allclose(normalized["a"], [0.5, 1.0])
+        np.testing.assert_allclose(normalized["b"], [1.0, 0.5])

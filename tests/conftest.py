@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_preset, split_dataset
+
+from .helpers import tiny_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny():
+    return tiny_dataset()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A generated dataset large enough for training smoke tests."""
+    return generate_preset("hetrec-del", scale=0.05, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return split_dataset(small_dataset, seed=2)

@@ -1,0 +1,110 @@
+"""Tests for the non-contrastive (BYOL-style) alignment variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IMCAT, IMCATConfig, IntentAlignment
+from repro.models import BPRMF
+from repro.nn import Tensor
+
+
+def make_module(objective="byol", dim=8, k=2):
+    config = IMCATConfig(num_intents=k, alignment_objective=objective)
+    return IntentAlignment(dim, config, np.random.default_rng(0)), config
+
+
+def make_inputs(rng, batch=4, dim=8, k=2):
+    return dict(
+        item_batch=np.arange(batch),
+        user_aggregation=Tensor(rng.normal(size=(batch, dim)), requires_grad=True),
+        item_embeddings=Tensor(rng.normal(size=(batch, dim)), requires_grad=True),
+        tag_aggregation_all=Tensor(
+            rng.normal(size=(batch * k, dim)), requires_grad=True
+        ),
+        tag_counts=np.ones((batch, k), dtype=int),
+    )
+
+
+class TestConfig:
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError, match="alignment_objective"):
+            IMCATConfig(alignment_objective="simsiam")
+
+    def test_byol_adds_predictors(self):
+        module, _ = make_module("byol")
+        names = {name for name, _ in module.named_parameters()}
+        assert any("predictor" in name for name in names)
+
+    def test_infonce_has_no_predictors(self):
+        module, _ = make_module("infonce")
+        names = {name for name, _ in module.named_parameters()}
+        assert not any("predictor" in name for name in names)
+
+
+class TestByolLoss:
+    def test_finite_scalar(self, rng):
+        module, _ = make_module()
+        loss = module.alignment_loss(**make_inputs(rng))
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_nonnegative(self, rng):
+        # 2 - 2cos is in [0, 4] per pair; weighted sums stay >= 0.
+        module, _ = make_module()
+        loss = module.alignment_loss(**make_inputs(rng))
+        assert loss.item() >= 0.0
+
+    def test_gradients_flow_to_online_views(self, rng):
+        module, _ = make_module()
+        inputs = make_inputs(rng)
+        module.alignment_loss(**inputs).backward()
+        assert inputs["user_aggregation"].grad is not None
+        assert inputs["item_embeddings"].grad is not None
+
+    def test_loss_differs_from_infonce(self, rng):
+        byol, _ = make_module("byol")
+        contrastive, _ = make_module("infonce")
+        a = byol.alignment_loss(**make_inputs(np.random.default_rng(1))).item()
+        b = contrastive.alignment_loss(**make_inputs(np.random.default_rng(1))).item()
+        assert a != pytest.approx(b)
+
+    def test_minimisation_aligns_views(self, rng):
+        """Gradient steps on the BYOL loss increase view agreement."""
+        from repro.nn import Adam
+        from repro.nn import functional as F
+
+        module, _ = make_module()
+        inputs = make_inputs(np.random.default_rng(2))
+        params = (
+            [inputs["user_aggregation"], inputs["item_embeddings"],
+             inputs["tag_aggregation_all"]]
+            + list(module.parameters())
+        )
+        optimizer = Adam(params, lr=0.02)
+        first = module.alignment_loss(**inputs).item()
+        for _ in range(30):
+            loss = module.alignment_loss(**inputs)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert module.alignment_loss(**inputs).item() < first
+
+
+class TestByolEndToEnd:
+    def test_imcat_trains_with_byol(self, small_dataset, small_split, rng):
+        backbone = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        model = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(num_intents=4, alignment_objective="byol"),
+            rng=np.random.default_rng(0),
+        )
+        model.refresh_clusters(rng)
+        loss = model.alignment_loss(np.arange(16), rng)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert model.tag_embedding.weight.grad is not None

@@ -1,0 +1,67 @@
+"""Tests for IMCATConfig validation and ablation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IMCATConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = IMCATConfig()
+        assert config.num_intents == 4
+        assert config.use_isa and config.use_nlt and config.use_alignment
+
+    def test_invalid_intents(self):
+        with pytest.raises(ValueError):
+            IMCATConfig(num_intents=0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            IMCATConfig(delta=1.5)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            IMCATConfig(tau=0.0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            IMCATConfig(eta=-1.0)
+
+    @pytest.mark.parametrize("name", ["alpha", "beta", "gamma", "independence_weight"])
+    def test_negative_weights_rejected(self, name):
+        with pytest.raises(ValueError, match=name):
+            IMCATConfig(**{name: -0.1})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            IMCATConfig().num_intents = 8
+
+
+class TestAblations:
+    def test_without_uit(self):
+        config = IMCATConfig().without_uit()
+        assert not config.use_alignment
+
+    def test_without_ut(self):
+        config = IMCATConfig().without_ut()
+        assert not config.align_tag
+        assert config.align_item
+
+    def test_without_ui(self):
+        config = IMCATConfig().without_ui()
+        assert not config.align_item
+        assert config.align_tag
+
+    def test_without_nlt(self):
+        config = IMCATConfig().without_nlt()
+        assert not config.use_nlt
+        assert config.use_alignment
+
+    def test_ablated_generic(self):
+        config = IMCATConfig().ablated(num_intents=8, delta=0.5)
+        assert config.num_intents == 8
+        assert config.delta == 0.5
+        # Original untouched (frozen dataclass).
+        assert IMCATConfig().num_intents == 4

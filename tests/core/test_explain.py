@@ -1,0 +1,102 @@
+"""Tests for intent-level recommendation explanations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IMCAT,
+    IMCATConfig,
+    cluster_summary,
+    explain_pair,
+    explain_recommendations,
+)
+from repro.models import BPRMF
+
+
+@pytest.fixture
+def model(small_dataset, small_split, rng):
+    backbone = BPRMF(
+        small_dataset.num_users, small_dataset.num_items, 16,
+        np.random.default_rng(0),
+    )
+    m = IMCAT(
+        backbone, small_dataset, small_split.train,
+        IMCATConfig(num_intents=4), rng=np.random.default_rng(0),
+    )
+    m.activate_clustering(np.random.default_rng(0))
+    return m
+
+
+class TestExplainPair:
+    def test_intent_scores_sum_to_total(self, model):
+        explanation = explain_pair(model, user=0, item=1)
+        assert explanation.total_score == pytest.approx(
+            explanation.intent_scores.sum()
+        )
+
+    def test_decomposition_matches_backbone_score(self, model):
+        explanation = explain_pair(model, user=2, item=3)
+        score = model.backbone.pair_scores(
+            np.array([2]), np.array([3])
+        ).item()
+        assert explanation.total_score == pytest.approx(score)
+
+    def test_shares_are_distribution(self, model):
+        explanation = explain_pair(model, user=0, item=0)
+        shares = explanation.shares()
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares >= 0)
+
+    def test_dominant_intent_is_argmax(self, model):
+        explanation = explain_pair(model, user=1, item=2)
+        assert explanation.dominant_intent == int(
+            np.argmax(explanation.intent_scores)
+        )
+
+    def test_tag_counts_match_clusters(self, model, small_dataset):
+        item = int(small_dataset.tag_item_ids[0])
+        explanation = explain_pair(model, user=0, item=item)
+        tags = small_dataset.tags_of_item()[item]
+        expected = np.bincount(model.tag_clusters[tags], minlength=4)
+        np.testing.assert_array_equal(explanation.item_tag_counts, expected)
+
+
+class TestExplainRecommendations:
+    def test_one_explanation_per_item(self, model):
+        explanations = explain_recommendations(model, 0, [1, 2, 3])
+        assert [e.item for e in explanations] == [1, 2, 3]
+        assert all(e.user == 0 for e in explanations)
+
+
+class TestClusterSummary:
+    def test_covers_all_intents(self, model):
+        summaries = cluster_summary(model)
+        assert len(summaries) == 4
+        total = sum(s["size"] for s in summaries)
+        assert total == model.num_tags
+
+    def test_top_limits_members(self, model):
+        summaries = cluster_summary(model, top=2)
+        assert all(len(s["tags"]) <= 2 for s in summaries)
+
+    def test_names_applied(self, model):
+        names = {t: f"name-{t}" for t in range(model.num_tags)}
+        summaries = cluster_summary(model, tag_names=names, top=3)
+        flat = [tag for s in summaries for tag in s["tags"]]
+        assert all(tag.startswith("name-") for tag in flat)
+
+    def test_kmeans_mode_uses_cluster_means(self, small_dataset, small_split):
+        backbone = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        m = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(num_intents=4, use_end_to_end_clustering=False),
+            rng=np.random.default_rng(0),
+        )
+        m.activate_clustering(np.random.default_rng(0))
+        summaries = cluster_summary(m)
+        assert sum(s["size"] for s in summaries) == m.num_tags

@@ -1,0 +1,102 @@
+"""Tests for IRM: intent views and the independence regulariser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    independence_loss,
+    intent_view,
+    intent_views,
+    split_intents,
+    validate_intent_dims,
+)
+from repro.nn import Tensor
+
+from ..helpers import assert_gradcheck
+
+
+class TestValidation:
+    def test_divisible(self):
+        assert validate_intent_dims(64, 4) == 16
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            validate_intent_dims(64, 5)
+
+
+class TestViews:
+    def test_views_partition_embedding(self, rng):
+        emb = Tensor(rng.normal(size=(3, 8)))
+        views = intent_views(emb, 4)
+        assert len(views) == 4
+        reconstructed = np.concatenate([v.data for v in views], axis=1)
+        np.testing.assert_allclose(reconstructed, emb.data)
+
+    def test_single_view(self, rng):
+        emb = Tensor(rng.normal(size=(3, 8)))
+        view = intent_view(emb, 0, 1)
+        np.testing.assert_allclose(view.data, emb.data)
+
+    def test_view_gradient_routes_to_block(self, rng):
+        emb = Tensor(rng.normal(size=(2, 8)), requires_grad=True)
+        intent_view(emb, 1, 4).sum().backward()
+        # Only columns 2-3 receive gradient.
+        assert np.all(emb.grad[:, 2:4] == 1.0)
+        assert np.all(emb.grad[:, :2] == 0.0)
+        assert np.all(emb.grad[:, 4:] == 0.0)
+
+    def test_split_intents_numpy(self, rng):
+        array = rng.normal(size=(5, 12))
+        blocks = split_intents(array, 3)
+        assert blocks.shape == (5, 3, 4)
+        np.testing.assert_allclose(blocks[:, 1, :], array[:, 4:8])
+
+
+class TestIndependenceLoss:
+    def test_single_intent_is_zero(self, rng):
+        emb = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+        assert independence_loss(emb, 1).item() == 0.0
+
+    def test_orthogonal_blocks_give_zero(self):
+        # Block 0 lives on axis 0, block 1 on axis 1: cosine is zero.
+        emb = np.zeros((3, 4))
+        emb[:, 0] = 1.0  # intent 0 -> [1, 0]
+        emb[:, 3] = 1.0  # intent 1 -> [0, 1]
+        loss = independence_loss(Tensor(emb), 2)
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_blocks_give_one(self):
+        emb = np.ones((3, 4))
+        loss = independence_loss(Tensor(emb), 2)
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_gradcheck(self, rng):
+        emb = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        assert_gradcheck(lambda: independence_loss(emb, 4), [emb])
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_loss_in_unit_interval(self, k):
+        rng = np.random.default_rng(0)
+        emb = Tensor(rng.normal(size=(5, k * 4)))
+        value = independence_loss(emb, k).item()
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    def test_minimising_decorrelates(self):
+        """Gradient descent on the loss makes blocks more orthogonal."""
+        from repro.nn import Adam, Parameter
+
+        rng = np.random.default_rng(0)
+        emb = Parameter(rng.normal(size=(10, 8)) + 1.0)
+        optimizer = Adam([emb], lr=0.05)
+        first = independence_loss(emb, 2).item()
+        for _ in range(50):
+            loss = independence_loss(emb, 2)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert independence_loss(emb, 2).item() < first

@@ -1,0 +1,162 @@
+"""Tests for the ISA module (Eq. 15 and positive-set construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SetToSetIndex, cluster_tag_matrix, jaccard_similar_pairs
+
+from ..helpers import tiny_dataset
+
+
+def brute_force_jaccard(sets, threshold):
+    """Reference implementation of Eq. 15 over python sets."""
+    n = len(sets)
+    pairs = set()
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            union = sets[i] | sets[j]
+            if not union:
+                continue
+            jac = len(sets[i] & sets[j]) / len(union)
+            if jac > threshold:
+                pairs.add((i, j))
+    return pairs
+
+
+class TestClusterTagMatrix:
+    def test_restricts_to_cluster(self):
+        tiny = tiny_dataset()
+        clusters = np.array([0, 1, 0, 1, 0])
+        matrix = cluster_tag_matrix(tiny.tags_of_item(), clusters, 0, 6, 5)
+        # Item 0 has tags {0, 1}; only tag 0 is in cluster 0.
+        assert matrix[0, 0] == 1.0
+        assert matrix[0, 1] == 0.0
+
+    def test_empty_cluster(self):
+        tiny = tiny_dataset()
+        clusters = np.zeros(5, dtype=int)
+        matrix = cluster_tag_matrix(tiny.tags_of_item(), clusters, 3, 6, 5)
+        assert matrix.nnz == 0
+
+
+class TestJaccardPairs:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        import scipy.sparse as sp
+
+        membership = sp.random(15, 10, density=0.3, random_state=1)
+        membership.data[:] = 1.0
+        membership = membership.tocsr()
+        sets = [
+            set(membership[i].indices.tolist()) for i in range(15)
+        ]
+        for threshold in (0.1, 0.5, 0.9):
+            ours = jaccard_similar_pairs(membership, threshold).tocoo()
+            our_pairs = set(zip(ours.row.tolist(), ours.col.tolist()))
+            assert our_pairs == brute_force_jaccard(sets, threshold)
+
+    def test_diagonal_excluded(self):
+        import scipy.sparse as sp
+
+        membership = sp.csr_matrix(np.ones((3, 4)))
+        pairs = jaccard_similar_pairs(membership, 0.5)
+        assert pairs.diagonal().sum() == 0
+
+    def test_identical_sets_maximally_similar(self):
+        import scipy.sparse as sp
+
+        membership = sp.csr_matrix(np.array([[1, 1, 0], [1, 1, 0]], dtype=float))
+        pairs = jaccard_similar_pairs(membership, 0.99)
+        assert pairs[0, 1] and pairs[1, 0]
+
+    def test_threshold_one_excludes_everything(self):
+        import scipy.sparse as sp
+
+        membership = sp.csr_matrix(np.array([[1, 1], [1, 1]], dtype=float))
+        # Jaccard == 1.0 is not > 1.0.
+        assert jaccard_similar_pairs(membership, 1.0).nnz == 0
+
+    def test_invalid_threshold(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError):
+            jaccard_similar_pairs(sp.csr_matrix((2, 2)), 1.5)
+
+    def test_symmetry(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(2)
+        membership = sp.random(20, 8, density=0.3, random_state=3)
+        membership.data[:] = 1.0
+        pairs = jaccard_similar_pairs(membership.tocsr(), 0.4)
+        diff = (pairs.astype(int) - pairs.T.astype(int))
+        assert abs(diff).sum() == 0
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_threshold(self, threshold):
+        import scipy.sparse as sp
+
+        membership = sp.random(12, 6, density=0.4, random_state=4)
+        membership.data[:] = 1.0
+        membership = membership.tocsr()
+        low = jaccard_similar_pairs(membership, threshold * 0.5).nnz
+        high = jaccard_similar_pairs(membership, threshold).nnz
+        assert high <= low
+
+
+class TestSetToSetIndex:
+    def make_index(self, threshold=0.3, num_intents=2):
+        tiny = tiny_dataset()
+        clusters = np.array([0, 0, 1, 1, 0])
+        return (
+            SetToSetIndex(
+                tiny.tags_of_item(), clusters, num_intents,
+                tiny.num_items, tiny.num_tags, threshold,
+            ),
+            tiny,
+        )
+
+    def test_similar_items_consistent_with_jaccard(self):
+        index, tiny = self.make_index(threshold=0.2)
+        clusters = np.array([0, 0, 1, 1, 0])
+        tags_of_item = tiny.tags_of_item()
+        for intent in range(2):
+            sets = [
+                set(t for t in tags_of_item[i] if clusters[t] == intent)
+                for i in range(tiny.num_items)
+            ]
+            expected = brute_force_jaccard(sets, 0.2)
+            for item in range(tiny.num_items):
+                similar = set(index.similar_items(item, intent).tolist())
+                assert similar == {j for (i, j) in expected if i == item}
+
+    def test_mask_diagonal_always_true(self, rng):
+        index, _ = self.make_index(threshold=0.0)
+        batch = np.array([0, 1, 2, 3])
+        mask = index.batch_positive_mask(batch, 0, rng)
+        if mask is not None:
+            assert np.all(np.diag(mask))
+
+    def test_mask_none_when_no_pairs(self, rng):
+        index, _ = self.make_index(threshold=0.999)
+        batch = np.array([0, 5])
+        assert index.batch_positive_mask(batch, 0, rng) is None
+
+    def test_max_positives_respected(self, rng):
+        index, tiny = self.make_index(threshold=0.0)
+        batch = np.arange(tiny.num_items)
+        mask = index.batch_positive_mask(batch, 0, rng, max_positives=1)
+        if mask is not None:
+            # Each row has at most 1 + 1 (self) positives.
+            assert mask.sum(axis=1).max() <= 2
+
+    def test_num_similar_counts(self):
+        index, _ = self.make_index(threshold=0.0)
+        assert index.num_similar(0) >= 0

@@ -1,0 +1,97 @@
+"""Tests for degree-distribution analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticConfig,
+    analyze_item_degrees,
+    fit_power_law,
+    generate,
+    gini_coefficient,
+    head_share,
+)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        """Sampling from a discrete power law recovers alpha within 10%.
+
+        The continuous-approximation MLE (Eq. 3.7 of Clauset et al.) is
+        accurate for ``x_min >= 6``, so the fit uses that regime.
+        """
+        rng = np.random.default_rng(0)
+        alpha_true = 2.5
+        # Inverse-CDF sampling of a continuous Pareto, discretised.
+        u = rng.random(200000)
+        sample = np.floor((1 - u) ** (-1.0 / (alpha_true - 1.0))).astype(int)
+        sample = sample[sample >= 1]
+        fit = fit_power_law(sample, x_min=6)
+        assert abs(fit.alpha - alpha_true) / alpha_true < 0.1
+
+    def test_tail_cutoff_respected(self):
+        degrees = np.array([1, 1, 1, 5, 6, 7, 8])
+        fit = fit_power_law(degrees, x_min=5)
+        assert fit.num_tail == 4
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([3]), x_min=1)
+
+    def test_plausible_range(self):
+        fit = fit_power_law(np.array([1] * 50 + [2] * 20 + [5] * 5))
+        assert fit.plausible()
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+    def test_all_zero_returns_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        value = gini_coefficient(rng.exponential(size=200))
+        assert 0.0 <= value <= 1.0
+
+
+class TestHeadShare:
+    def test_uniform_share_matches_quantile(self):
+        share = head_share(np.full(100, 3.0), quantile=0.1)
+        assert share == pytest.approx(0.1)
+
+    def test_concentrated_head(self):
+        degrees = np.array([100] + [1] * 99)
+        assert head_share(degrees, 0.01) > 0.5
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            head_share(np.ones(5), 0.0)
+
+
+class TestDatasetAnalysis:
+    def test_generator_plants_power_law(self):
+        """The synthetic generator must produce the long-tail structure
+        the paper's Fig. 7 analysis relies on (exponent in the realistic
+        range, head-heavy shares)."""
+        config = SyntheticConfig(
+            "t", 500, 800, 64, mean_user_degree=25, popularity_exponent=1.0
+        )
+        dataset = generate(config, seed=3)
+        report = analyze_item_degrees(dataset)
+        assert report.power_law.plausible()
+        assert report.gini > 0.3
+        assert report.top10_share > 0.25
+        assert report.max_degree > report.median_degree * 4

@@ -1,0 +1,48 @@
+"""Tests for dataset caching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    cached_generate,
+    generate_preset,
+    load_dataset_file,
+    save_dataset,
+)
+
+from ..helpers import tiny_dataset
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        tiny = tiny_dataset()
+        path = str(tmp_path / "ds.npz")
+        save_dataset(tiny, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == tiny.name
+        np.testing.assert_array_equal(loaded.user_ids, tiny.user_ids)
+        np.testing.assert_array_equal(loaded.tag_ids, tiny.tag_ids)
+        assert loaded.num_users == tiny.num_users
+
+    def test_extension_appended(self, tmp_path):
+        tiny = tiny_dataset()
+        base = str(tmp_path / "nosuffix")
+        save_dataset(tiny, base)
+        loaded = load_dataset_file(base)
+        assert loaded.num_interactions == tiny.num_interactions
+
+
+class TestCachedGenerate:
+    def test_miss_then_hit(self, tmp_path):
+        path = str(tmp_path / "cache.npz")
+        calls = []
+
+        def generator(name, scale, seed):
+            calls.append(1)
+            return generate_preset(name, scale=scale, seed=seed)
+
+        first = cached_generate(generator, path, "hetrec-del", scale=0.03, seed=0)
+        second = cached_generate(generator, path, "hetrec-del", scale=0.03, seed=0)
+        assert len(calls) == 1  # second call served from disk
+        np.testing.assert_array_equal(first.user_ids, second.user_ids)

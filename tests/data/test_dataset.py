@@ -1,0 +1,120 @@
+"""Tests for the TagRecDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TagRecDataset
+
+from ..helpers import tiny_dataset
+
+
+class TestValidation:
+    def test_valid_dataset_constructs(self, tiny):
+        assert tiny.num_interactions == 10
+        assert tiny.num_tag_assignments == 8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TagRecDataset(
+                num_users=2, num_items=2, num_tags=2,
+                user_ids=np.array([0]), item_ids=np.array([0, 1]),
+                tag_item_ids=np.array([]), tag_ids=np.array([]),
+            )
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError, match="user_ids"):
+            TagRecDataset(
+                num_users=2, num_items=2, num_tags=2,
+                user_ids=np.array([5]), item_ids=np.array([0]),
+                tag_item_ids=np.array([]), tag_ids=np.array([]),
+            )
+
+    def test_out_of_range_tag_rejected(self):
+        with pytest.raises(ValueError, match="tag_ids"):
+            TagRecDataset(
+                num_users=2, num_items=2, num_tags=2,
+                user_ids=np.array([0]), item_ids=np.array([0]),
+                tag_item_ids=np.array([0]), tag_ids=np.array([7]),
+            )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            TagRecDataset(
+                num_users=2, num_items=2, num_tags=2,
+                user_ids=np.array([-1]), item_ids=np.array([0]),
+                tag_item_ids=np.array([]), tag_ids=np.array([]),
+            )
+
+
+class TestDensities:
+    def test_interaction_density(self, tiny):
+        assert tiny.interaction_density() == pytest.approx(10 / 24)
+
+    def test_tag_density(self, tiny):
+        assert tiny.tag_density() == pytest.approx(8 / 30)
+
+
+class TestSparseViews:
+    def test_interaction_matrix_shape_binary(self, tiny):
+        mat = tiny.interaction_matrix()
+        assert mat.shape == (4, 6)
+        assert set(np.unique(mat.data)) == {1.0}
+
+    def test_tag_matrix_shape(self, tiny):
+        assert tiny.tag_matrix().shape == (6, 5)
+
+    def test_matrices_cached(self, tiny):
+        assert tiny.interaction_matrix() is tiny.interaction_matrix()
+
+    def test_duplicates_collapsed(self):
+        ds = TagRecDataset(
+            num_users=1, num_items=1, num_tags=1,
+            user_ids=np.array([0, 0]), item_ids=np.array([0, 0]),
+            tag_item_ids=np.array([]), tag_ids=np.array([]),
+        )
+        assert ds.interaction_matrix().nnz == 1
+        assert ds.interaction_matrix()[0, 0] == 1.0
+
+
+class TestAdjacency:
+    def test_items_of_user(self, tiny):
+        items = tiny.items_of_user()
+        assert sorted(items[0].tolist()) == [0, 1, 2]
+        assert sorted(items[3].tolist()) == [1, 4, 5]
+
+    def test_users_of_item(self, tiny):
+        users = tiny.users_of_item()
+        assert sorted(users[0].tolist()) == [0, 1, 2]
+        assert sorted(users[5].tolist()) == [3]
+
+    def test_tags_of_item_includes_empty(self, tiny):
+        tags = tiny.tags_of_item()
+        assert sorted(tags[0].tolist()) == [0, 1]
+        assert len(tags[5]) == 0  # item 5 has no tags
+
+    def test_degrees_consistent(self, tiny):
+        assert tiny.item_degrees().sum() == tiny.num_interactions
+        assert tiny.user_degrees().sum() == tiny.num_interactions
+        assert tiny.tag_degrees().sum() == tiny.num_tag_assignments
+
+
+class TestWithInteractions:
+    def test_replaces_interactions_keeps_tags(self, tiny):
+        derived = tiny.with_interactions(
+            np.array([0]), np.array([0]), name="derived"
+        )
+        assert derived.num_interactions == 1
+        assert derived.num_tag_assignments == tiny.num_tag_assignments
+        assert derived.name == "derived"
+
+    def test_preserves_entity_counts(self, tiny):
+        derived = tiny.with_interactions(np.array([3]), np.array([5]))
+        assert derived.num_users == tiny.num_users
+        assert derived.num_items == tiny.num_items
+
+    def test_fresh_cache(self, tiny):
+        tiny.interaction_matrix()
+        derived = tiny.with_interactions(np.array([0]), np.array([0]))
+        assert derived.interaction_matrix().nnz == 1

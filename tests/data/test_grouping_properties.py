@@ -1,0 +1,37 @@
+"""Property tests for the dataset grouping helper."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import _group_by
+
+
+class TestGroupBy:
+    @given(st.integers(0, 60), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_grouping(self, n, groups):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, groups, size=n)
+        values = rng.integers(0, 100, size=n)
+        result = _group_by(keys, values, groups)
+        assert len(result) == groups
+        for g in range(groups):
+            expected = sorted(values[keys == g].tolist())
+            assert sorted(result[g].tolist()) == expected
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_empty_input(self, groups):
+        result = _group_by(np.empty(0, int), np.empty(0, int), groups)
+        assert len(result) == groups
+        assert all(len(r) == 0 for r in result)
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 5, size=200)
+        values = rng.integers(0, 10, size=200)
+        result = _group_by(keys, values, 5)
+        assert sum(len(r) for r in result) == 200

@@ -1,0 +1,121 @@
+"""Tests for file loaders and the dataset registry."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    available_datasets,
+    load_dataset,
+    load_pairs_dataset,
+    read_delimited,
+)
+from repro.data.loaders import load_hetrec_movielens
+
+
+class TestReadDelimited:
+    def test_parses_columns(self, tmp_path):
+        path = tmp_path / "f.dat"
+        path.write_text("userID\titemID\trating\n1\t10\t4.5\n2\t20\t3.0\n")
+        users, items, ratings = read_delimited(str(path), (0, 1, 2))
+        np.testing.assert_array_equal(users, [1, 2])
+        np.testing.assert_array_equal(ratings, [4.5, 3.0])
+
+    def test_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "f.dat"
+        path.write_text("h\ta\n1\t2\nbad\tline\n3\t4\n")
+        a, b = read_delimited(str(path), (0, 1))
+        assert len(a) == 2
+
+    def test_skips_short_lines(self, tmp_path):
+        path = tmp_path / "f.dat"
+        path.write_text("h\ta\tb\n1\t2\t3\n4\t5\n")
+        a, b, c = read_delimited(str(path), (0, 1, 2))
+        assert len(a) == 1
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "f.tsv"
+        path.write_text("1\t2\n3\t4\n")
+        a, b = read_delimited(str(path), (0, 1), skip_header=False)
+        assert len(a) == 2
+
+
+class TestHetrecLoader:
+    def test_parses_and_preprocesses(self, tmp_path):
+        rng = np.random.default_rng(0)
+        # 15 users x 30 movies dense-ish block so 10-core survives.
+        lines = ["userID\tmovieID\trating\tts"]
+        for u in range(15):
+            for m in rng.choice(30, size=20, replace=False):
+                lines.append(f"{u}\t{m}\t5.0\t0")
+        (tmp_path / "user_ratedmovies.dat").write_text("\n".join(lines))
+        tag_lines = ["movieID\ttagID\tweight"]
+        for m in range(30):
+            for t in range(6):
+                tag_lines.append(f"{m}\t{t}\t1")
+        (tmp_path / "movie_tags.dat").write_text("\n".join(tag_lines))
+        ds = load_hetrec_movielens(str(tmp_path))
+        assert ds.num_users > 0
+        assert ds.num_tag_assignments > 0
+        assert ds.name == "hetrec-mv"
+
+
+class TestRegistry:
+    def test_available_lists_seven(self):
+        assert len(available_datasets()) == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nonexistent")
+
+    def test_synthetic_fallback_without_data_dir(self):
+        ds = load_dataset("hetrec-del", scale=0.05, seed=0)
+        assert ds.num_users > 0
+
+    def test_fallback_when_files_missing(self, tmp_path):
+        ds = load_dataset("hetrec-mv", data_dir=str(tmp_path), scale=0.03, seed=0)
+        assert ds.num_users > 0  # no files there -> synthetic
+
+    def test_load_pairs_dataset(self, tmp_path):
+        rng = np.random.default_rng(0)
+        inter = tmp_path / "ui.tsv"
+        lines = []
+        for u in range(20):
+            for m in rng.choice(25, size=20, replace=False):
+                lines.append(f"{u}\t{m}")
+        inter.write_text("\n".join(lines))
+        tags = tmp_path / "it.tsv"
+        tags.write_text("\n".join(f"{m}\t{m % 3}" for m in range(25)))
+        ds = load_pairs_dataset(str(inter), str(tags), "custom")
+        assert ds.name == "custom"
+        assert ds.num_users > 0
+
+
+class TestCiteulikeLoader:
+    def test_parses_citeulike_t_format(self, tmp_path):
+        from repro.data import load_citeulike_t
+
+        rng = np.random.default_rng(0)
+        # 20 users each collecting 20 of 25 articles (10-core survives).
+        lines = []
+        for _u in range(20):
+            items = rng.choice(25, size=20, replace=False)
+            lines.append(f"{len(items)} " + " ".join(map(str, items)))
+        (tmp_path / "users.dat").write_text("\n".join(lines))
+        tag_lines = []
+        for _tag in range(8):
+            items = rng.choice(25, size=10, replace=False)
+            tag_lines.append(" ".join(map(str, items)))
+        (tmp_path / "tag-item.dat").write_text("\n".join(tag_lines))
+        ds = load_citeulike_t(str(tmp_path))
+        assert ds.name == "citeulike"
+        assert ds.num_users > 0
+        assert ds.num_tag_assignments > 0
+
+    def test_registry_prefers_real_files(self, tmp_path):
+        # With no files present the registry falls back to synthetic.
+        ds = load_dataset("citeulike", data_dir=str(tmp_path), scale=0.03)
+        assert ds.num_users > 0

@@ -1,0 +1,140 @@
+"""Tests for the preprocessing pipeline (Section V.A protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PreprocessConfig,
+    binarize_ratings,
+    k_core_filter,
+    preprocess,
+    preprocess_dataset,
+)
+
+from ..helpers import tiny_dataset
+
+
+class TestBinarize:
+    def test_keeps_only_high_ratings(self):
+        users = np.array([0, 1, 2])
+        items = np.array([0, 1, 2])
+        ratings = np.array([5.0, 3.9, 4.0])
+        u, v = binarize_ratings(users, items, ratings, threshold=4.0)
+        np.testing.assert_array_equal(u, [0, 2])
+        np.testing.assert_array_equal(v, [0, 2])
+
+    def test_empty_input(self):
+        u, v = binarize_ratings(np.array([]), np.array([]), np.array([]))
+        assert len(u) == 0
+
+
+class TestKCore:
+    def test_removes_cold_users(self):
+        # User 1 has a single interaction -> dropped at min_user=2.
+        users = np.array([0, 0, 1])
+        items = np.array([0, 1, 0])
+        u, v = k_core_filter(users, items, min_user=2, min_item=1)
+        assert 1 not in u
+
+    def test_cascading_removal(self):
+        # Dropping item 2 (1 interaction) pushes user 1 below threshold.
+        users = np.array([0, 0, 1, 1])
+        items = np.array([0, 1, 0, 2])
+        u, v = k_core_filter(users, items, min_user=2, min_item=2)
+        # Item 2 appears once -> removed; user 1 then has 1 -> removed;
+        # item 0 then has 1 (user 0) -> removed; user 0 then has 1 -> removed.
+        assert len(u) == 0
+
+    def test_fixed_point_reached(self):
+        users = np.array([0, 0, 1, 1])
+        items = np.array([0, 1, 0, 1])
+        u, v = k_core_filter(users, items, min_user=2, min_item=2)
+        assert len(u) == 4  # everything survives
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_result_satisfies_thresholds(self, min_user, min_item):
+        rng = np.random.default_rng(0)
+        users = rng.integers(0, 10, size=60)
+        items = rng.integers(0, 15, size=60)
+        u, v = k_core_filter(users, items, min_user, min_item)
+        if len(u):
+            assert np.bincount(u)[np.unique(u)].min() >= min_user
+            assert np.bincount(v)[np.unique(v)].min() >= min_item
+
+
+class TestPreprocess:
+    def _raw(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        users = rng.integers(0, 40, size=n)
+        items = rng.integers(0, 60, size=n)
+        tag_items = rng.integers(0, 60, size=800)
+        tags = rng.integers(0, 20, size=800)
+        return users, items, tag_items, tags
+
+    def test_dense_reindexing(self):
+        users, items, tag_items, tags = self._raw()
+        ds = preprocess(users, items, tag_items, tags)
+        assert ds.user_ids.max() == ds.num_users - 1
+        assert ds.item_ids.max() <= ds.num_items - 1
+        assert ds.tag_ids.max() <= ds.num_tags - 1
+
+    def test_tag_support_threshold(self):
+        users, items, tag_items, tags = self._raw()
+        config = PreprocessConfig(min_tag_items=10)
+        ds = preprocess(users, items, tag_items, tags, config=config)
+        if ds.num_tag_assignments:
+            assert ds.tag_degrees()[ds.tag_degrees() > 0].min() >= 10
+
+    def test_tags_of_dropped_items_removed(self):
+        users = np.array([0] * 10 + [1] * 10)
+        items = np.array(list(range(10)) + list(range(10)))
+        # Item 50 never interacted with -> its tags must vanish.
+        tag_items = np.array([0, 1, 50] * 5)
+        tags = np.array([0, 1, 2] * 5)
+        ds = preprocess(
+            users, items, tag_items, tags,
+            config=PreprocessConfig(
+                min_user_interactions=2, min_item_interactions=2,
+                min_tag_items=1,
+            ),
+        )
+        # Only tags of surviving items remain; all are in range.
+        assert ds.tag_item_ids.max() < ds.num_items
+
+    def test_too_strict_raises(self):
+        with pytest.raises(ValueError, match="survive"):
+            preprocess(
+                np.array([0]), np.array([0]), np.array([]), np.array([]),
+                config=PreprocessConfig(min_user_interactions=100),
+            )
+
+    def test_rating_binarisation_integrated(self):
+        users = np.repeat(np.arange(4), 20)
+        items = np.tile(np.arange(20), 4)
+        ratings = np.ones(80) * 5
+        ratings[:40] = 1.0  # first two users rated everything low
+        ds = preprocess(
+            users, items, np.array([]), np.array([]),
+            ratings=ratings,
+            config=PreprocessConfig(
+                min_user_interactions=5, min_item_interactions=1,
+                min_tag_items=1,
+            ),
+        )
+        assert ds.num_users == 2
+
+    def test_preprocess_dataset_wrapper(self):
+        ds = preprocess_dataset(
+            tiny_dataset(),
+            config=PreprocessConfig(
+                min_user_interactions=1, min_item_interactions=1,
+                min_tag_items=1,
+            ),
+        )
+        assert ds.num_interactions == 10

@@ -1,0 +1,78 @@
+"""Tests for BPR negative sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BPRSampler, ItemTagSampler, sample_item_batches
+
+from ..helpers import tiny_dataset
+
+
+class TestBPRSampler:
+    def test_epoch_covers_every_positive(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        seen = []
+        for batch in sampler.epoch(batch_size=3):
+            seen.extend(zip(batch.anchors, batch.positives))
+        assert sorted(seen) == sorted(zip(tiny.user_ids, tiny.item_ids))
+
+    def test_negatives_not_in_user_positives(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        positives = [set(items.tolist()) for items in tiny.items_of_user()]
+        for _ in range(5):
+            for batch in sampler.epoch(batch_size=4):
+                for user, neg in zip(batch.anchors, batch.negatives):
+                    assert neg not in positives[user]
+
+    def test_batch_size_respected(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        sizes = [len(b) for b in sampler.epoch(batch_size=4)]
+        assert sizes == [4, 4, 2]
+
+    def test_invalid_batch_size(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        with pytest.raises(ValueError):
+            next(sampler.epoch(batch_size=0))
+
+    def test_shuffle_false_is_deterministic_order(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        batch = next(sampler.epoch(batch_size=10, shuffle=False))
+        np.testing.assert_array_equal(batch.anchors, tiny.user_ids)
+
+    def test_num_positives(self, tiny):
+        assert BPRSampler(tiny).num_positives == tiny.num_interactions
+
+
+class TestItemTagSampler:
+    def test_epoch_covers_every_assignment(self, tiny):
+        sampler = ItemTagSampler(tiny, seed=0)
+        seen = []
+        for batch in sampler.epoch(batch_size=3):
+            seen.extend(zip(batch.anchors, batch.positives))
+        assert sorted(seen) == sorted(zip(tiny.tag_item_ids, tiny.tag_ids))
+
+    def test_negative_tags_not_assigned(self, tiny):
+        sampler = ItemTagSampler(tiny, seed=0)
+        positives = [set(tags.tolist()) for tags in tiny.tags_of_item()]
+        for batch in sampler.epoch(batch_size=4):
+            for item, neg in zip(batch.anchors, batch.negatives):
+                assert neg not in positives[item]
+
+    def test_invalid_batch_size(self, tiny):
+        with pytest.raises(ValueError):
+            next(ItemTagSampler(tiny).epoch(batch_size=-1))
+
+
+class TestItemBatches:
+    def test_covers_all_items_once(self):
+        rng = np.random.default_rng(0)
+        batches = list(sample_item_batches(10, 3, rng))
+        flat = np.concatenate(batches)
+        assert sorted(flat.tolist()) == list(range(10))
+
+    def test_batch_sizes(self):
+        rng = np.random.default_rng(0)
+        sizes = [len(b) for b in sample_item_batches(10, 4, rng)]
+        assert sizes == [4, 4, 2]

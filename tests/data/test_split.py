@@ -1,0 +1,86 @@
+"""Tests for the 7:1:2 splitting protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import generate_preset, split_dataset, SyntheticConfig, generate
+
+
+class TestSplitBasics:
+    def test_ratios_must_sum_to_one(self, small_dataset):
+        with pytest.raises(ValueError, match="sum to 1"):
+            split_dataset(small_dataset, ratios=(0.5, 0.5, 0.5))
+
+    def test_negative_ratio_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            split_dataset(small_dataset, ratios=(1.2, -0.1, -0.1))
+
+    def test_parts_are_disjoint_per_user(self, small_split):
+        train_pairs = set(zip(small_split.train.user_ids, small_split.train.item_ids))
+        test_pairs = set(zip(small_split.test.user_ids, small_split.test.item_ids))
+        valid_pairs = set(zip(small_split.valid.user_ids, small_split.valid.item_ids))
+        assert not train_pairs & test_pairs
+        assert not train_pairs & valid_pairs
+        assert not valid_pairs & test_pairs
+
+    def test_union_covers_all_unique_pairs(self, small_dataset, small_split):
+        all_pairs = set(zip(small_dataset.user_ids, small_dataset.item_ids))
+        split_pairs = (
+            set(zip(small_split.train.user_ids, small_split.train.item_ids))
+            | set(zip(small_split.valid.user_ids, small_split.valid.item_ids))
+            | set(zip(small_split.test.user_ids, small_split.test.item_ids))
+        )
+        assert split_pairs == all_pairs
+
+    def test_every_user_keeps_training_item(self, small_dataset, small_split):
+        active = np.unique(small_dataset.user_ids)
+        train_degrees = small_split.train.user_degrees()
+        assert np.all(train_degrees[active] >= 1)
+
+    def test_ratio_roughly_respected(self, small_dataset, small_split):
+        total = small_dataset.num_interactions
+        train_frac = small_split.train.num_interactions / total
+        test_frac = small_split.test.num_interactions / total
+        assert 0.6 < train_frac < 0.8
+        assert 0.1 < test_frac < 0.3
+
+    def test_deterministic_per_seed(self, small_dataset):
+        a = split_dataset(small_dataset, seed=5)
+        b = split_dataset(small_dataset, seed=5)
+        np.testing.assert_array_equal(a.train.item_ids, b.train.item_ids)
+
+    def test_different_seeds_differ(self, small_dataset):
+        a = split_dataset(small_dataset, seed=5)
+        b = split_dataset(small_dataset, seed=6)
+        assert not np.array_equal(a.train.item_ids, b.train.item_ids)
+
+    def test_tags_shared_across_parts(self, small_dataset, small_split):
+        for part in (small_split.train, small_split.valid, small_split.test):
+            assert part.num_tag_assignments == small_dataset.num_tag_assignments
+
+
+class TestSplitEdgeCases:
+    def test_user_with_one_item_goes_to_train(self):
+        ds = generate(
+            SyntheticConfig("t", 30, 50, 32, mean_user_degree=1.2,
+                            degree_sigma=0.1),
+            seed=0,
+        )
+        split = split_dataset(ds, seed=1)
+        # Single-interaction users keep their item in train.
+        singles = np.where(ds.user_degrees() == 1)[0]
+        for user in singles:
+            assert split.train.user_degrees()[user] == 1
+
+    @given(st.integers(0, 5))
+    @settings(max_examples=5, deadline=None)
+    def test_split_property_disjoint(self, seed):
+        ds = generate(SyntheticConfig("t", 30, 60, 32, mean_user_degree=8), seed=9)
+        split = split_dataset(ds, seed=seed)
+        train = set(zip(split.train.user_ids, split.train.item_ids))
+        test = set(zip(split.test.user_ids, split.test.item_ids))
+        assert not train & test

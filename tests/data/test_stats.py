@@ -1,0 +1,37 @@
+"""Tests for Table I statistics computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import compute_statistics
+
+from ..helpers import tiny_dataset
+
+
+class TestStatistics:
+    def test_counts(self, tiny):
+        stats = compute_statistics(tiny)
+        assert stats.num_users == 4
+        assert stats.num_items == 6
+        assert stats.num_tags == 5
+        assert stats.num_interactions == 10
+        assert stats.num_tag_assignments == 8
+
+    def test_densities_percent(self, tiny):
+        stats = compute_statistics(tiny)
+        assert stats.interaction_density_pct == pytest.approx(100 * 10 / 24)
+        assert stats.tag_density_pct == pytest.approx(100 * 8 / 30)
+
+    def test_average_degrees_follow_paper_convention(self, tiny):
+        stats = compute_statistics(tiny)
+        assert stats.interaction_avg_degree == pytest.approx(10 / 4)
+        assert stats.tag_avg_degree == pytest.approx(8 / 6)
+
+    def test_as_row_keys(self, tiny):
+        row = compute_statistics(tiny).as_row()
+        assert set(row) == {
+            "#User", "#Item", "#Tag", "#UI", "UI Density",
+            "UI Avg. degree", "#IT", "IT Density", "IT Avg. degree",
+        }
+        assert row["UI Density"].endswith("%")

@@ -1,0 +1,121 @@
+"""Tests for beyond-accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.eval import (
+    catalogue_coverage,
+    evaluate_diversity,
+    intra_list_diversity,
+    novelty,
+    tag_entropy,
+)
+
+from ..helpers import tiny_dataset
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        lists = [np.array([0, 1]), np.array([2, 3])]
+        assert catalogue_coverage(lists, 4) == 1.0
+
+    def test_partial_coverage(self):
+        lists = [np.array([0]), np.array([0])]
+        assert catalogue_coverage(lists, 4) == 0.25
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            catalogue_coverage([], 0)
+
+
+class TestILD:
+    def _tags(self):
+        # item 0 and 1 share tags; item 2 disjoint.
+        return sp.csr_matrix(
+            np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]], dtype=float)
+        )
+
+    def test_identical_items_zero_diversity(self):
+        assert intra_list_diversity(np.array([0, 1]), self._tags()) == (
+            pytest.approx(0.0)
+        )
+
+    def test_disjoint_items_max_diversity(self):
+        assert intra_list_diversity(np.array([0, 2]), self._tags()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_single_item_zero(self):
+        assert intra_list_diversity(np.array([0]), self._tags()) == 0.0
+
+    def test_untagged_item_counts_as_dissimilar(self):
+        tags = sp.csr_matrix(np.array([[1, 0], [0, 0]], dtype=float))
+        assert intra_list_diversity(np.array([0, 1]), tags) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        tags = sp.random(20, 10, density=0.3, random_state=1, format="csr")
+        value = intra_list_diversity(np.arange(20), tags)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestNovelty:
+    def test_rare_items_more_novel(self):
+        popularity = np.array([100, 1])
+        assert novelty(np.array([1]), popularity) > novelty(
+            np.array([0]), popularity
+        )
+
+    def test_unseen_item_finite(self):
+        popularity = np.array([10, 0])
+        assert np.isfinite(novelty(np.array([1]), popularity))
+
+    def test_empty_popularity(self):
+        assert novelty(np.array([0]), np.zeros(3)) == 0.0
+
+
+class TestTagEntropy:
+    def test_single_tag_zero_entropy(self):
+        tags = sp.csr_matrix(np.array([[1.0], [1.0]]))
+        assert tag_entropy(np.array([0, 1]), tags) == pytest.approx(0.0)
+
+    def test_uniform_tags_log2k(self):
+        tags = sp.csr_matrix(np.eye(4))
+        assert tag_entropy(np.arange(4), tags) == pytest.approx(2.0)
+
+    def test_untagged_list_zero(self):
+        tags = sp.csr_matrix((2, 3))
+        assert tag_entropy(np.array([0, 1]), tags) == 0.0
+
+
+class TestEvaluateDiversity:
+    def test_end_to_end_report(self):
+        tiny = tiny_dataset()
+        test = tiny.with_interactions(np.array([0, 1]), np.array([4, 5]))
+
+        class Model:
+            def all_scores(self, users):
+                rng = np.random.default_rng(0)
+                return rng.normal(size=(len(users), 6))
+
+        report = evaluate_diversity(Model(), tiny, test, top_n=3)
+        row = report.as_row()
+        assert set(row) == {"coverage", "ILD", "novelty", "tag_entropy"}
+        assert 0.0 < report.coverage <= 1.0
+        assert report.novelty > 0
+
+    def test_no_eval_users(self):
+        tiny = tiny_dataset()
+        empty = tiny.with_interactions(
+            np.empty(0, dtype=int), np.empty(0, dtype=int)
+        )
+
+        class Model:
+            def all_scores(self, users):
+                return np.zeros((len(users), 6))
+
+        report = evaluate_diversity(Model(), tiny, empty)
+        assert report.coverage == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the full-ranking evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TagRecDataset
+from repro.eval import Evaluator
+
+
+class PerfectModel:
+    """Scores the user's test items highest (oracle)."""
+
+    def __init__(self, test: TagRecDataset, num_items: int):
+        self._test_items = test.items_of_user()
+        self._num_items = num_items
+
+    def all_scores(self, users):
+        scores = np.zeros((len(users), self._num_items))
+        for row, user in enumerate(users):
+            scores[row, self._test_items[user]] = 10.0
+        return scores
+
+
+class ConstantModel:
+    def __init__(self, num_items: int):
+        self._num_items = num_items
+
+    def all_scores(self, users):
+        # Item 0 always best, then 1, 2, ...
+        return -np.tile(np.arange(self._num_items, dtype=float), (len(users), 1))
+
+
+def make_pair():
+    train = TagRecDataset(
+        num_users=3, num_items=8, num_tags=1,
+        user_ids=np.array([0, 0, 1, 2]), item_ids=np.array([0, 1, 0, 2]),
+        tag_item_ids=np.array([0]), tag_ids=np.array([0]),
+    )
+    test = train.with_interactions(
+        np.array([0, 1, 1]), np.array([2, 3, 4])
+    )
+    return train, test
+
+
+class TestEvaluator:
+    def test_unknown_metric_rejected(self):
+        train, test = make_pair()
+        with pytest.raises(ValueError, match="unknown metrics"):
+            Evaluator(train, test, metrics=("bogus",))
+
+    def test_oracle_gets_perfect_recall(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test, top_n=(5,), metrics=("recall", "ndcg"))
+        result = evaluator.evaluate(PerfectModel(test, 8))
+        assert result["recall@5"] == pytest.approx(1.0)
+        assert result["ndcg@5"] == pytest.approx(1.0)
+
+    def test_users_without_test_items_skipped(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test)
+        assert 2 not in evaluator.eval_users  # user 2 has no test items
+
+    def test_training_items_masked(self):
+        train, test = make_pair()
+        # ConstantModel ranks item 0 first, but item 0 is in train for
+        # users 0 and 1, so it must not appear in their rankings.
+        evaluator = Evaluator(train, test, top_n=(1,), metrics=("recall",))
+        result = evaluator.evaluate(ConstantModel(8))
+        # user 0: top unmasked item is 2 (its test item!) -> hit.
+        # user 1: top unmasked is 1 -> miss (test items 3, 4).
+        per_user = result.per_user["recall@1"]
+        assert per_user[0] == pytest.approx(1.0)
+        assert per_user[1] == pytest.approx(0.0)
+
+    def test_user_subset_restriction(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test, user_subset=[1])
+        np.testing.assert_array_equal(evaluator.eval_users, [1])
+
+    def test_chunked_evaluation_matches_single(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test, top_n=(3,))
+        model = PerfectModel(test, 8)
+        a = evaluator.evaluate(model, chunk_size=1).metrics
+        b = evaluator.evaluate(model, chunk_size=100).metrics
+        assert a == b
+
+    def test_bad_score_shape_detected(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test)
+
+        class Broken:
+            def all_scores(self, users):
+                return np.zeros((1, 8))
+
+        with pytest.raises(ValueError, match="rows"):
+            evaluator.evaluate(Broken(), chunk_size=2)
+
+    def test_multiple_cutoffs(self):
+        train, test = make_pair()
+        evaluator = Evaluator(train, test, top_n=(1, 5), metrics=("recall",))
+        result = evaluator.evaluate(PerfectModel(test, 8))
+        assert result["recall@5"] >= result["recall@1"]
+
+    def test_summary_format(self):
+        train, test = make_pair()
+        result = Evaluator(train, test).evaluate(PerfectModel(test, 8))
+        assert "recall@20=" in result.summary()
+
+
+class TestAllMetrics:
+    def test_five_metrics_computed(self):
+        train, test = make_pair()
+        evaluator = Evaluator(
+            train, test, top_n=(5,),
+            metrics=("recall", "ndcg", "precision", "hit_rate", "map"),
+        )
+        result = evaluator.evaluate(PerfectModel(test, 8))
+        assert set(result.metrics) == {
+            "recall@5", "ndcg@5", "precision@5", "hit_rate@5", "map@5",
+        }
+        # Oracle: recall, ndcg, hit rate and MAP are all perfect.
+        assert result["recall@5"] == pytest.approx(1.0)
+        assert result["hit_rate@5"] == pytest.approx(1.0)
+        assert result["map@5"] == pytest.approx(1.0)

@@ -1,0 +1,151 @@
+"""Unit + property tests for ranking metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    average_precision_at_n,
+    hit_rate_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    rank_items,
+    recall_at_n,
+)
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        assert recall_at_n([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at_n([1, 9, 8], {1, 2}, 3) == 0.5
+
+    def test_empty_relevant_is_zero(self):
+        assert recall_at_n([1, 2], set(), 2) == 0.0
+
+    def test_cutoff_applies(self):
+        assert recall_at_n([9, 9, 1], {1}, 2) == 0.0
+
+
+class TestPrecision:
+    def test_basic(self):
+        assert precision_at_n([1, 9], {1}, 2) == 0.5
+
+    def test_zero_n(self):
+        assert precision_at_n([1], {1}, 0) == 0.0
+
+
+class TestHitRate:
+    def test_hit(self):
+        assert hit_rate_at_n([5, 1], {1}, 2) == 1.0
+
+    def test_miss(self):
+        assert hit_rate_at_n([5, 9], {1}, 2) == 0.0
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_n([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_ideal_truncation(self):
+        # 5 relevant items but N=2: placing 2 hits on top is ideal.
+        assert ndcg_at_n([1, 2], {1, 2, 3, 4, 5}, 2) == pytest.approx(1.0)
+
+    def test_position_matters(self):
+        early = ndcg_at_n([1, 9, 8], {1}, 3)
+        late = ndcg_at_n([9, 8, 1], {1}, 3)
+        assert early > late
+
+    def test_hand_computed_example(self):
+        # Hits at ranks 1 and 3 (0-indexed 0 and 2), 2 relevant items.
+        dcg = 1.0 / np.log2(2) + 1.0 / np.log2(4)
+        idcg = 1.0 / np.log2(2) + 1.0 / np.log2(3)
+        assert ndcg_at_n([1, 9, 2], {1, 2}, 3) == pytest.approx(dcg / idcg)
+
+    def test_empty_relevant(self):
+        assert ndcg_at_n([1], set(), 1) == 0.0
+
+
+class TestMAP:
+    def test_single_hit_at_top(self):
+        assert average_precision_at_n([1, 9], {1}, 2) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        expected = (1.0 + 2.0 / 3.0) / 2.0
+        assert average_precision_at_n([1, 9, 2], {1, 2}, 3) == pytest.approx(expected)
+
+
+@st.composite
+def ranking_case(draw):
+    n_items = draw(st.integers(5, 30))
+    ranked = draw(st.permutations(list(range(n_items))))
+    relevant = set(
+        draw(st.lists(st.integers(0, n_items - 1), min_size=1, max_size=5))
+    )
+    n = draw(st.integers(1, n_items))
+    return list(ranked), relevant, n
+
+
+class TestMetricProperties:
+    @given(ranking_case())
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_bounded(self, case):
+        ranked, relevant, n = case
+        for metric in (recall_at_n, precision_at_n, ndcg_at_n,
+                       hit_rate_at_n, average_precision_at_n):
+            value = metric(ranked, relevant, n)
+            assert 0.0 <= value <= 1.0
+
+    @given(ranking_case())
+    @settings(max_examples=60, deadline=None)
+    def test_recall_monotone_in_n(self, case):
+        ranked, relevant, n = case
+        assert recall_at_n(ranked, relevant, n) <= recall_at_n(
+            ranked, relevant, n + 5
+        )
+
+    @given(ranking_case())
+    @settings(max_examples=60, deadline=None)
+    def test_hit_rate_dominates_recall(self, case):
+        ranked, relevant, n = case
+        assert hit_rate_at_n(ranked, relevant, n) >= recall_at_n(
+            ranked, relevant, n
+        )
+
+
+class TestRankItems:
+    def test_orders_by_score_descending(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        np.testing.assert_array_equal(rank_items(scores, set(), 3), [1, 2, 0])
+
+    def test_excludes_training_items(self):
+        scores = np.array([0.9, 0.8, 0.1])
+        ranked = rank_items(scores, {0}, 2)
+        assert 0 not in ranked
+        assert ranked[0] == 1
+
+    def test_top_n_capped_at_catalogue(self):
+        ranked = rank_items(np.array([1.0, 2.0]), set(), 10)
+        assert len(ranked) == 2
+
+    def test_input_not_mutated(self):
+        scores = np.array([1.0, 2.0])
+        rank_items(scores, {1}, 1)
+        np.testing.assert_array_equal(scores, [1.0, 2.0])
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_returns_sorted_topk(self, k):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=30)
+        ranked = rank_items(scores, set(), k)
+        # Scores along the ranking are non-increasing.
+        assert np.all(np.diff(scores[ranked]) <= 1e-12)
+        # And they are the global top-k.
+        expected = set(np.argsort(scores)[-k:].tolist())
+        assert set(ranked.tolist()) == expected

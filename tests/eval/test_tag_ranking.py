@@ -1,0 +1,82 @@
+"""Tests for the tag-recommendation evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import evaluate_tag_ranking, split_tag_assignments
+
+from ..helpers import tiny_dataset
+
+
+class TestSplitTagAssignments:
+    def test_partition_per_item(self):
+        tiny = tiny_dataset()
+        observed, held_out = split_tag_assignments(tiny, holdout=0.5, seed=0)
+        for item in range(tiny.num_items):
+            original = set(tiny.tags_of_item()[item].tolist())
+            combined = set(observed[item].tolist()) | set(held_out[item].tolist())
+            assert combined == original
+            assert not set(observed[item]) & set(held_out[item])
+
+    def test_single_tag_items_keep_observed(self):
+        tiny = tiny_dataset()
+        observed, held_out = split_tag_assignments(tiny, holdout=0.5, seed=0)
+        tags_of_item = tiny.tags_of_item()
+        for item in range(tiny.num_items):
+            if len(tags_of_item[item]) == 1:
+                assert len(observed[item]) == 1
+                assert len(held_out[item]) == 0
+
+    def test_every_item_keeps_one_observed(self):
+        tiny = tiny_dataset()
+        observed, _ = split_tag_assignments(tiny, holdout=0.9, seed=0)
+        for item, tags in enumerate(tiny.tags_of_item()):
+            if len(tags):
+                assert len(observed[item]) >= 1
+
+    def test_invalid_holdout(self):
+        with pytest.raises(ValueError):
+            split_tag_assignments(tiny_dataset(), holdout=1.0)
+
+
+class TestEvaluateTagRanking:
+    def test_oracle_embeddings_score_high(self):
+        """Item embeddings equal to the mean of their held-out tags rank
+        those tags first."""
+        tiny = tiny_dataset()
+        rng = np.random.default_rng(0)
+        tag_emb = rng.normal(size=(tiny.num_tags, 8)) * 3
+        observed, held_out = split_tag_assignments(tiny, holdout=0.5, seed=0)
+        item_emb = np.zeros((tiny.num_items, 8))
+        for item, relevant in enumerate(held_out):
+            if len(relevant):
+                item_emb[item] = tag_emb[relevant].mean(axis=0)
+        result = evaluate_tag_ranking(
+            item_emb, tag_emb, observed, held_out, top_n=3
+        )
+        assert result.recall > 0.8
+        assert result.num_items > 0
+
+    def test_no_evaluable_items(self):
+        tiny = tiny_dataset()
+        observed = tiny.tags_of_item()
+        held_out = [np.empty(0, dtype=int) for _ in range(tiny.num_items)]
+        result = evaluate_tag_ranking(
+            np.zeros((6, 4)), np.zeros((5, 4)), observed, held_out
+        )
+        assert result.num_items == 0
+        assert result.recall == 0.0
+
+    def test_observed_tags_masked(self):
+        """Observed tags must not appear in the ranking even when they
+        score highest."""
+        tag_emb = np.array([[10.0], [1.0]])
+        item_emb = np.array([[1.0]])
+        observed = [np.array([0])]
+        held_out = [np.array([1])]
+        result = evaluate_tag_ranking(
+            item_emb, tag_emb, observed, held_out, top_n=1
+        )
+        assert result.recall == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+"""Tests for the extended activation functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..helpers import assert_gradcheck
+
+
+class TestSoftplus:
+    def test_positive_everywhere(self, rng):
+        out = F.softplus(Tensor(rng.normal(size=(20,)) * 5))
+        assert np.all(out.data > 0)
+
+    def test_matches_naive_in_safe_range(self, rng):
+        x = rng.normal(size=(10,))
+        np.testing.assert_allclose(
+            F.softplus(Tensor(x)).data, np.log1p(np.exp(x)), atol=1e-12
+        )
+
+    def test_stable_for_extremes(self):
+        out = F.softplus(Tensor(np.array([-1e4, 1e4])))
+        assert np.all(np.isfinite(out.data))
+        assert out.data[1] == pytest.approx(1e4)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        assert_gradcheck(lambda: F.softplus(x).sum(), [x])
+
+
+class TestElu:
+    def test_identity_for_positive(self):
+        x = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(F.elu(x).data, [1.0, 2.0])
+
+    def test_saturates_at_minus_alpha(self):
+        out = F.elu(Tensor(np.array([-100.0])), alpha=1.5)
+        assert out.data[0] == pytest.approx(-1.5)
+
+    def test_continuous_at_zero(self):
+        eps = 1e-8
+        left = F.elu(Tensor(np.array([-eps]))).data[0]
+        right = F.elu(Tensor(np.array([eps]))).data[0]
+        assert abs(left - right) < 1e-6
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        assert_gradcheck(lambda: F.elu(x, alpha=0.7).sum(), [x])
+
+
+class TestGelu:
+    def test_zero_at_zero(self):
+        assert F.gelu(Tensor(np.zeros(1))).data[0] == 0.0
+
+    def test_approaches_identity_for_large_positive(self):
+        out = F.gelu(Tensor(np.array([10.0])))
+        assert out.data[0] == pytest.approx(10.0, abs=1e-6)
+
+    def test_approaches_zero_for_large_negative(self):
+        out = F.gelu(Tensor(np.array([-10.0])))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        assert_gradcheck(lambda: F.gelu(x).sum(), [x])

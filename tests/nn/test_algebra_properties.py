@@ -1,0 +1,109 @@
+"""Hypothesis property tests: algebraic laws of the autograd engine.
+
+These complement the pointwise gradchecks: the *laws* (associativity,
+distributivity, linearity of the gradient) must hold for arbitrary
+well-conditioned inputs, both in the forward values and in the
+gradients they induce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+
+
+def finite_arrays(shape=(3, 4)):
+    return hnp.arrays(
+        np.float64, shape, elements=st.floats(-10, 10, allow_nan=False)
+    )
+
+
+def grad_of(expr_builder, *arrays):
+    """Build the expression from fresh tensors and return their grads."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    expr_builder(*tensors).sum().backward()
+    return [t.grad for t in tensors]
+
+
+class TestForwardLaws:
+    @given(finite_arrays(), finite_arrays(), finite_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_associative(self, a, b, c):
+        left = (Tensor(a) + Tensor(b)) + Tensor(c)
+        right = Tensor(a) + (Tensor(b) + Tensor(c))
+        np.testing.assert_allclose(left.data, right.data, atol=1e-9)
+
+    @given(finite_arrays(), finite_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutative(self, a, b):
+        np.testing.assert_allclose(
+            (Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data
+        )
+
+    @given(finite_arrays(), finite_arrays(), finite_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_multiplication_distributes(self, a, b, c):
+        left = Tensor(a) * (Tensor(b) + Tensor(c))
+        right = Tensor(a) * Tensor(b) + Tensor(a) * Tensor(c)
+        np.testing.assert_allclose(left.data, right.data, atol=1e-8)
+
+    @given(finite_arrays((2, 3)), finite_arrays((3, 4)), finite_arrays((4, 2)))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_associative(self, a, b, c):
+        left = (Tensor(a) @ Tensor(b)) @ Tensor(c)
+        right = Tensor(a) @ (Tensor(b) @ Tensor(c))
+        np.testing.assert_allclose(left.data, right.data, atol=1e-7)
+
+    @given(finite_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation_identity(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+    @given(finite_arrays())
+    @settings(max_examples=30, deadline=None)
+    def test_exp_log_roundtrip(self, a):
+        positive = np.abs(a) + 0.5
+        np.testing.assert_allclose(
+            Tensor(positive).log().exp().data, positive, rtol=1e-10
+        )
+
+
+class TestGradientLaws:
+    @given(finite_arrays(), finite_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_of_sum_is_sum_of_gradients(self, a, b):
+        """d/dx sum(x*y + x) == y + 1 regardless of expression grouping."""
+        (ga1, gb1) = grad_of(lambda x, y: x * y + x, a, b)
+        np.testing.assert_allclose(ga1, b + 1.0, atol=1e-9)
+        np.testing.assert_allclose(gb1, a, atol=1e-9)
+
+    @given(finite_arrays(), st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_linearity_in_scalar(self, a, scale):
+        (grad_scaled,) = grad_of(lambda x: x * scale, a)
+        np.testing.assert_allclose(grad_scaled, np.full_like(a, scale))
+
+    @given(finite_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_identity_composition_gradient(self, a):
+        """Reshape/transpose round trips leave the gradient untouched."""
+        (grad,) = grad_of(lambda x: x.reshape(-1).reshape(3, 4).T.T, a)
+        np.testing.assert_allclose(grad, np.ones_like(a))
+
+    @given(finite_arrays((4,)), finite_arrays((4,)))
+    @settings(max_examples=25, deadline=None)
+    def test_product_rule(self, a, b):
+        (ga, gb) = grad_of(lambda x, y: x * y, a, b)
+        np.testing.assert_allclose(ga, b)
+        np.testing.assert_allclose(gb, a)
+
+    @given(finite_arrays((3, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_rule_through_relu(self, a):
+        (grad,) = grad_of(lambda x: (x.relu() * 2.0), a)
+        expected = np.where(a > 0, 2.0, 0.0)
+        np.testing.assert_allclose(grad, expected)

@@ -1,0 +1,82 @@
+"""Tests for the graph augmentation operators (SGL's ED / ND / RW)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import drop_edges, drop_nodes, random_walk_edges
+
+
+def make_graph(n=30, density=0.3, seed=0):
+    mat = sp.random(n, n, density=density, random_state=seed, format="csr")
+    mat.data[:] = 1.0
+    return mat
+
+
+def _is_subset(candidate, universe) -> bool:
+    """True when every non-zero of ``candidate`` is non-zero in ``universe``."""
+    cand = candidate.tocoo()
+    existing = set(zip(universe.tocoo().row.tolist(), universe.tocoo().col.tolist()))
+    return all((r, c) in existing for r, c in zip(cand.row.tolist(), cand.col.tolist()))
+
+
+class TestDropNodes:
+    def test_zero_ratio_keeps_all(self):
+        rng = np.random.default_rng(0)
+        graph = make_graph()
+        assert drop_nodes(graph, 0.0, rng).nnz == graph.nnz
+
+    def test_dropped_node_loses_all_edges(self):
+        rng = np.random.default_rng(0)
+        graph = make_graph(n=50)
+        dropped = drop_nodes(graph, 0.4, rng)
+        # Each node is either fully present or fully absent as a row+col.
+        row_deg = np.asarray(dropped.sum(axis=1)).ravel()
+        col_deg = np.asarray(dropped.sum(axis=0)).ravel()
+        orig_row = np.asarray(graph.sum(axis=1)).ravel()
+        for node in range(50):
+            if row_deg[node] == 0 and col_deg[node] == 0:
+                continue  # either dropped or isolated — fine
+            # Surviving nodes keep only edges to surviving partners, so
+            # their degree can shrink but not grow.
+            assert row_deg[node] <= orig_row[node]
+
+    def test_subset_of_original(self):
+        rng = np.random.default_rng(1)
+        graph = make_graph()
+        dropped = drop_nodes(graph, 0.3, rng)
+        assert _is_subset(dropped, graph)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            drop_nodes(make_graph(), 1.0, np.random.default_rng(0))
+
+    def test_rectangular_matrix(self):
+        rng = np.random.default_rng(0)
+        mat = sp.random(10, 20, density=0.3, random_state=0, format="csr")
+        dropped = drop_nodes(mat, 0.3, rng)
+        assert dropped.shape == (10, 20)
+
+
+class TestRandomWalk:
+    def test_one_matrix_per_layer(self):
+        rng = np.random.default_rng(0)
+        layers = random_walk_edges(make_graph(), 0.2, rng, num_layers=3)
+        assert len(layers) == 3
+
+    def test_layers_are_independent_samples(self):
+        rng = np.random.default_rng(0)
+        layers = random_walk_edges(make_graph(), 0.4, rng, num_layers=2)
+        assert (layers[0] != layers[1]).nnz > 0
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            random_walk_edges(make_graph(), 0.2, np.random.default_rng(0), 0)
+
+    def test_each_layer_subset_of_original(self):
+        rng = np.random.default_rng(2)
+        graph = make_graph()
+        for layer in random_walk_edges(graph, 0.3, rng, 3):
+            assert _is_subset(layer, graph)

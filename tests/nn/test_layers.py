@@ -1,0 +1,134 @@
+"""Tests for standard layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Dropout,
+    Embedding,
+    LeakyReLU,
+    Linear,
+    ProjectionHead,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tensor,
+)
+
+from ..helpers import assert_gradcheck
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradcheck(
+            lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias]
+        )
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        assert emb(np.array([1, 5, 5])).shape == (3, 4)
+
+    def test_all_returns_parameter(self, rng):
+        emb = Embedding(10, 4, rng)
+        assert emb.all() is emb.weight
+
+    def test_training_updates_only_touched_rows(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([1, 3]))
+        out.sum().backward()
+        touched = np.abs(emb.weight.grad).sum(axis=1) > 0
+        np.testing.assert_array_equal(touched, [False, True, False, True, False])
+
+
+class TestActivationModules:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, LeakyReLU])
+    def test_activation_shapes(self, cls, rng):
+        layer = cls()
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert layer(x).shape == (3, 3)
+
+    def test_dropout_module_eval_identity(self, rng):
+        drop = Dropout(0.9, rng)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.5, rng)
+
+
+class TestMLP:
+    def test_requires_layers(self, rng):
+        with pytest.raises(ValueError):
+            MLP(4, [], rng)
+
+    def test_output_size(self, rng):
+        mlp = MLP(4, [8, 2], rng)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+        assert mlp.out_features == 2
+
+    def test_final_activation_flag(self, rng):
+        mlp = MLP(4, [3], rng, final_activation=True)
+        out = mlp(Tensor(np.full((2, 4), -10.0)))
+        assert np.all(out.data >= 0)  # ReLU applied at the end
+
+    def test_gradcheck(self, rng):
+        mlp = MLP(3, [4, 2], rng)
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        params = list(mlp.parameters())
+        assert_gradcheck(lambda: (mlp(x) ** 2).sum(), [x] + params)
+
+    def test_custom_activation(self, rng):
+        mlp = MLP(3, [3, 3], rng, activation=lambda t: t.tanh())
+        out = mlp(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 3)
+
+
+class TestProjectionHead:
+    def test_preserves_dimension(self, rng):
+        head = ProjectionHead(8, rng)
+        assert head(Tensor(np.ones((3, 8)))).shape == (3, 8)
+
+    def test_second_layer_has_no_bias(self, rng):
+        head = ProjectionHead(8, rng)
+        assert head.fc2.bias is None
+
+    def test_gradcheck(self, rng):
+        head = ProjectionHead(4, rng)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(
+            lambda: (head(x) ** 2).sum(), [x] + list(head.parameters())
+        )
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        seq = Sequential(Linear(2, 3, rng), ReLU(), Linear(3, 1, rng))
+        assert seq(Tensor(np.ones((4, 2)))).shape == (4, 1)
+
+    def test_iterable(self, rng):
+        seq = Sequential(Linear(2, 2, rng), ReLU())
+        assert len(list(seq)) == 2

@@ -1,0 +1,103 @@
+"""Tests for the Module/Parameter system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, Tensor
+
+
+class Composite(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.inner = Linear(2, 3, rng)
+
+    def forward(self, x):
+        return self.inner(x @ self.weight)
+
+
+class TestParameter:
+    def test_requires_grad_by_default(self):
+        assert Parameter(np.ones(3)).requires_grad
+
+    def test_is_tensor(self):
+        assert isinstance(Parameter(np.ones(1)), Tensor)
+
+
+class TestModuleTraversal:
+    def test_named_parameters_qualified(self, rng):
+        m = Composite(rng)
+        names = dict(m.named_parameters())
+        assert set(names) == {"weight", "inner.weight", "inner.bias"}
+
+    def test_parameters_count(self, rng):
+        m = Composite(rng)
+        assert m.num_parameters() == 4 + 6 + 3
+
+    def test_modules_iterates_recursively(self, rng):
+        m = Composite(rng)
+        assert len(list(m.modules())) == 2
+
+    def test_sequential_registers_children(self, rng):
+        seq = Sequential(Linear(2, 3, rng), Linear(3, 1, rng))
+        assert len(list(seq.parameters())) == 4
+        assert len(seq) == 2
+
+
+class TestModuleState:
+    def test_zero_grad_clears_all(self, rng):
+        m = Composite(rng)
+        out = m(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_train_eval_mode_recursive(self, rng):
+        m = Composite(rng)
+        m.eval()
+        assert not m.training
+        assert not m.inner.training
+        m.train()
+        assert m.inner.training
+
+    def test_state_dict_roundtrip(self, rng):
+        m1 = Composite(rng)
+        m2 = Composite(np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        out1 = m1(Tensor(np.ones((1, 2)))).data
+        out2 = m2(Tensor(np.ones((1, 2)))).data
+        np.testing.assert_allclose(out1, out2)
+
+    def test_state_dict_is_a_copy(self, rng):
+        m = Composite(rng)
+        state = m.state_dict()
+        state["weight"][...] = 0.0
+        assert m.weight.data.sum() == 4.0
+
+    def test_load_state_dict_rejects_missing_keys(self, rng):
+        m = Composite(rng)
+        state = m.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError, match="missing"):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_rejects_unexpected_keys(self, rng):
+        m = Composite(rng)
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            m.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self, rng):
+        m = Composite(rng)
+        state = m.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            m.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

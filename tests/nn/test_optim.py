@@ -1,0 +1,106 @@
+"""Tests for optimisers: convergence, weight decay, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter, Tensor
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([5.0])
+
+        def run(momentum):
+            param = Parameter(np.zeros(1))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = quadratic_loss(param, target)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(param.data[0] - 5.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.ones(3))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        # No data gradient at all: decay only.
+        param.grad = np.zeros(3)
+        opt.step()
+        assert np.all(param.data < 1.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        opt = SGD([param], lr=0.1)
+        opt.step()  # must not raise
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = quadratic_loss(param, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_close_to_lr(self):
+        # Adam's bias correction makes the first step ~lr in size.
+        param = Parameter(np.zeros(1))
+        opt = Adam([param], lr=0.05)
+        param.grad = np.array([1.0])
+        opt.step()
+        assert abs(param.data[0] + 0.05) < 1e-6
+
+    def test_weight_decay_applied(self):
+        decayed = Parameter(np.ones(1) * 10)
+        plain = Parameter(np.ones(1) * 10)
+        opt_d = Adam([decayed], lr=0.01, weight_decay=0.5)
+        opt_p = Adam([plain], lr=0.01, weight_decay=0.0)
+        for _ in range(10):
+            decayed.grad = np.zeros(1)
+            plain.grad = np.zeros(1)
+            opt_d.step()
+            opt_p.step()
+        assert decayed.data[0] < plain.data[0]
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.ones(2))
+        param.grad = np.ones(2)
+        Adam([param]).zero_grad()
+        assert param.grad is None

@@ -1,0 +1,109 @@
+"""Tests for learning-rate schedulers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    CosineAnnealing,
+    Parameter,
+    StepDecay,
+    Tensor,
+    WarmupLinear,
+    clip_grad_norm,
+)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.ones(2))], lr=lr)
+
+
+class TestStepDecay:
+    def test_halves_at_boundaries(self):
+        scheduler = StepDecay(make_optimizer(0.1), step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        np.testing.assert_allclose(lrs, [0.1, 0.05, 0.05, 0.025, 0.025])
+
+    def test_updates_optimizer(self):
+        opt = make_optimizer(0.1)
+        scheduler = StepDecay(opt, step_size=1, gamma=0.1)
+        scheduler.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self):
+        scheduler = CosineAnnealing(make_optimizer(1.0), total_epochs=10, min_lr=0.1)
+        lrs = [scheduler.step() for _ in range(10)]
+        assert lrs[0] < 1.0
+        assert lrs[-1] == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        scheduler = CosineAnnealing(make_optimizer(1.0), total_epochs=20)
+        lrs = [scheduler.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_horizon(self):
+        scheduler = CosineAnnealing(make_optimizer(1.0), total_epochs=3, min_lr=0.2)
+        for _ in range(10):
+            lr = scheduler.step()
+        assert lr == pytest.approx(0.2)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            CosineAnnealing(make_optimizer(), total_epochs=0)
+
+
+class TestWarmupLinear:
+    def test_warmup_rises_then_decays(self):
+        scheduler = WarmupLinear(make_optimizer(1.0), warmup_epochs=2, total_epochs=6)
+        lrs = [scheduler.step() for _ in range(6)]
+        assert lrs[0] == pytest.approx(0.5)
+        assert lrs[1] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(0.0)
+        assert max(lrs) == lrs[1]
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            WarmupLinear(make_optimizer(), warmup_epochs=5, total_epochs=5)
+
+
+class TestClipGradNorm:
+    def test_noop_below_threshold(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([0.1, 0.0, 0.0])
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(0.1)
+        np.testing.assert_allclose(param.grad, [0.1, 0.0, 0.0])
+
+    def test_scales_above_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, abs=1e-6)
+
+    def test_global_norm_across_parameters(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_skips_missing_grads(self):
+        param = Parameter(np.zeros(2))
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,132 @@
+"""Tests for sparse graph operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.sparse import (
+    build_interaction_matrix,
+    drop_edges,
+    normalized_bipartite_adjacency,
+    row_normalize,
+    sparse_matmul,
+    symmetric_normalize,
+)
+
+from ..helpers import assert_gradcheck
+
+
+def _is_subset(candidate, universe) -> bool:
+    """True when every non-zero of ``candidate`` is non-zero in ``universe``."""
+    cand = candidate.tocoo()
+    existing = set(zip(universe.tocoo().row.tolist(), universe.tocoo().col.tolist()))
+    return all((r, c) in existing for r, c in zip(cand.row.tolist(), cand.col.tolist()))
+
+
+class TestBuildInteractionMatrix:
+    def test_shape_and_binary(self):
+        mat = build_interaction_matrix(
+            np.array([0, 0, 1]), np.array([1, 1, 2]), 3, 4
+        )
+        assert mat.shape == (3, 4)
+        assert mat[0, 1] == 1.0  # duplicate collapsed
+        assert mat.nnz == 2
+
+    def test_empty(self):
+        mat = build_interaction_matrix(np.array([]), np.array([]), 2, 2)
+        assert mat.nnz == 0
+
+
+class TestNormalization:
+    def test_row_normalize_rows_sum_to_one(self):
+        mat = build_interaction_matrix(
+            np.array([0, 0, 1]), np.array([0, 1, 1]), 2, 2
+        )
+        normalized = row_normalize(mat)
+        np.testing.assert_allclose(
+            np.asarray(normalized.sum(axis=1)).ravel(), [1.0, 1.0]
+        )
+
+    def test_row_normalize_zero_rows_stay_zero(self):
+        mat = sp.csr_matrix((2, 2))
+        normalized = row_normalize(mat)
+        assert normalized.nnz == 0
+
+    def test_symmetric_normalize_spectrum_bounded(self):
+        rng = np.random.default_rng(0)
+        raw = sp.random(10, 10, density=0.4, random_state=1)
+        adj = raw + raw.T  # symmetric
+        normalized = symmetric_normalize(adj.tocsr())
+        eigenvalues = np.linalg.eigvalsh(normalized.toarray())
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_bipartite_adjacency_block_structure(self):
+        interactions = build_interaction_matrix(
+            np.array([0, 1]), np.array([0, 1]), 2, 2
+        )
+        adj = normalized_bipartite_adjacency(interactions).toarray()
+        # User-user and item-item blocks are zero.
+        np.testing.assert_allclose(adj[:2, :2], 0.0)
+        np.testing.assert_allclose(adj[2:, 2:], 0.0)
+        # Symmetric overall.
+        np.testing.assert_allclose(adj, adj.T)
+
+    def test_bipartite_single_edge_weight(self):
+        # A single user-item edge with degree 1 on each side gets weight 1.
+        interactions = build_interaction_matrix(
+            np.array([0]), np.array([0]), 1, 1
+        )
+        adj = normalized_bipartite_adjacency(interactions).toarray()
+        assert adj[0, 1] == pytest.approx(1.0)
+
+
+class TestDropEdges:
+    def test_zero_ratio_keeps_all(self, rng):
+        mat = sp.random(5, 5, density=0.5, random_state=0, format="csr")
+        assert drop_edges(mat, 0.0, rng).nnz == mat.nnz
+
+    def test_ratio_drops_roughly_expected(self):
+        rng = np.random.default_rng(0)
+        mat = sp.random(100, 100, density=0.3, random_state=0, format="csr")
+        dropped = drop_edges(mat, 0.5, rng)
+        assert 0.35 * mat.nnz < dropped.nnz < 0.65 * mat.nnz
+
+    def test_invalid_ratio(self, rng):
+        mat = sp.random(3, 3, density=0.5, random_state=0, format="csr")
+        with pytest.raises(ValueError):
+            drop_edges(mat, 1.0, rng)
+
+    @given(st.floats(0.0, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_dropped_is_subset(self, ratio):
+        rng = np.random.default_rng(1)
+        mat = sp.random(20, 20, density=0.3, random_state=2, format="csr")
+        dropped = drop_edges(mat, ratio, rng)
+        # Every surviving edge exists in the original.
+        assert _is_subset(dropped, mat)
+
+
+class TestSparseMatmul:
+    def test_matches_dense(self, rng):
+        adj = sp.random(4, 6, density=0.5, random_state=0, format="csr")
+        x = Tensor(rng.normal(size=(6, 3)))
+        np.testing.assert_allclose(
+            sparse_matmul(adj, x).data, adj.toarray() @ x.data
+        )
+
+    def test_gradcheck(self, rng):
+        adj = sp.random(4, 5, density=0.6, random_state=1, format="csr")
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        assert_gradcheck(lambda: (sparse_matmul(adj, x) ** 2).sum(), [x])
+
+    def test_chained_propagation_gradcheck(self, rng):
+        adj = sp.random(5, 5, density=0.5, random_state=2, format="csr")
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        assert_gradcheck(
+            lambda: (sparse_matmul(adj, sparse_matmul(adj, x)) ** 2).sum(), [x]
+        )

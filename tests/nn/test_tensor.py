@@ -1,0 +1,295 @@
+"""Unit tests for the autograd Tensor: ops, broadcasting, backward."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, concat, no_grad, ones, stack, where, zeros
+from repro.nn.tensor import unbroadcast
+
+from ..helpers import assert_gradcheck
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_int_array_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float64
+
+    def test_float32_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_zeros_ones_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones((4,)).data.sum() == 4.0
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2).detach()
+        assert not b.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_len_and_repr(self):
+        t = Tensor([1.0, 2.0])
+        assert len(t) == 2
+        assert "Tensor" in repr(t)
+
+    def test_as_tensor_identity(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([4.0]) * 2).data, [8.0])
+        np.testing.assert_allclose((Tensor([4.0]) / 2).data, [2.0])
+        np.testing.assert_allclose((8.0 / Tensor([4.0])).data, [2.0])
+
+    def test_pow_scalar_only(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_shapes(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.ones((3, 4)))
+        assert (a @ b).shape == (2, 4)
+
+    def test_add_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_add_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        assert_gradcheck(lambda: ((a + b) ** 2).sum(), [a, b])
+
+    def test_broadcast_mul_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        assert_gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3,)) + 3.0, requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)) + 3.0, requires_grad=True)
+        assert_gradcheck(lambda: (a / b).sum(), [a, b])
+
+    def test_matmul_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matvec_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert_gradcheck(lambda: (a @ v).sum(), [a, v])
+
+    def test_pow_gradcheck(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3,))) + 0.5, requires_grad=True)
+        assert_gradcheck(lambda: (a**3).sum(), [a])
+
+    def test_neg_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert_gradcheck(lambda: (-a).sum(), [a])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.reshape((12,)).shape == (12,)
+
+    def test_reshape_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        assert_gradcheck(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose_default_reverses(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.T.shape == (4, 3, 2)
+
+    def test_transpose_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        assert_gradcheck(lambda: (a.T @ a).sum(), [a])
+
+    def test_getitem_rows(self, rng):
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4])
+        assert_gradcheck(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_slice_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        assert_gradcheck(lambda: (a[:, 1:4] ** 2).sum(), [a])
+
+    def test_concat_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert_gradcheck(lambda: (concat([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_concat_axis1(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        assert_gradcheck(lambda: (concat([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert_gradcheck(lambda: (stack([a, b]) ** 2).sum(), [a, b])
+
+    def test_where_gradcheck(self, rng):
+        cond = np.array([True, False, True])
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert_gradcheck(lambda: (where(cond, a, b) ** 2).sum(), [a, b])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)))
+        assert a.sum(axis=0).shape == (3,)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(lambda: (a.sum(axis=1) ** 2).sum(), [a])
+
+    def test_mean_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(lambda: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_mean_matches_numpy(self, rng):
+        data = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Tensor(data).mean(axis=1).data, data.mean(axis=1)
+        )
+
+    def test_max_gradcheck_unique(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert_gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op", ["exp", "log", "sqrt", "sigmoid", "tanh", "relu", "abs"]
+    )
+    def test_elementwise_gradcheck(self, op, rng):
+        base = np.abs(rng.normal(size=(4,))) + 0.5  # positive for log/sqrt
+        a = Tensor(base, requires_grad=True)
+        assert_gradcheck(lambda: getattr(a, op)().sum(), [a])
+
+    def test_leaky_relu_negative_slope(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        out = a.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor(np.array([-1000.0, 1000.0])).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_clip_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(6,)) * 2, requires_grad=True)
+        assert_gradcheck(lambda: a.clip(-1.0, 1.0).sum(), [a])
+
+
+class TestBackward:
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            a.backward()
+
+    def test_backward_explicit_seed_shape_checked(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            a.backward(np.ones(4))
+
+    def test_gradient_accumulates_across_calls(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 4.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_gradients(self):
+        # f = (a*2) + (a*3): both paths must accumulate.
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        ((a * 2) + (a * 3)).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_reused_tensor_in_product(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor(np.ones(1), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()  # iterative topo sort: must not overflow
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_no_grad_blocks_tape(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        a = Tensor(np.ones(1), requires_grad=True)
+        assert (a * 2).requires_grad
+
+
+class TestUnbroadcast:
+    @given(
+        st.sampled_from([(3, 4), (1, 4), (3, 1), (1, 1), (4,), (1,), ()])
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, shape):
+        target = np.zeros(shape)
+        grad = np.ones(np.broadcast_shapes(shape, (3, 4)))
+        reduced = unbroadcast(grad, shape)
+        assert reduced.shape == shape
+
+    def test_unbroadcast_sums_expanded_axes(self):
+        grad = np.ones((5, 3))
+        np.testing.assert_allclose(unbroadcast(grad, (3,)), [5.0, 5.0, 5.0])

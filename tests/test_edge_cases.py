@@ -1,0 +1,161 @@
+"""Cross-cutting edge cases and failure-injection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IMCAT, IMCATConfig, TagClustering
+from repro.core.alignment import aggregate_users
+from repro.data import BPRSampler, TagRecDataset, split_dataset
+from repro.eval import Evaluator
+from repro.models import BPRMF
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def dense_user_dataset():
+    """A user who interacted with every item (negative sampling stress)."""
+    return TagRecDataset(
+        num_users=2, num_items=3, num_tags=2,
+        user_ids=np.array([0, 0, 0, 1]),
+        item_ids=np.array([0, 1, 2, 0]),
+        tag_item_ids=np.array([0, 1]), tag_ids=np.array([0, 1]),
+    )
+
+
+class TestSamplingEdgeCases:
+    def test_exhausted_negatives_terminate(self):
+        """User 0 has no valid negatives; sampling must not loop forever."""
+        sampler = BPRSampler(dense_user_dataset(), seed=0)
+        batch = next(sampler.epoch(batch_size=4, shuffle=False))
+        assert len(batch) == 4  # returns despite the impossible user
+
+    def test_single_interaction_dataset(self):
+        ds = TagRecDataset(
+            num_users=1, num_items=2, num_tags=1,
+            user_ids=np.array([0]), item_ids=np.array([0]),
+            tag_item_ids=np.array([0]), tag_ids=np.array([0]),
+        )
+        sampler = BPRSampler(ds, seed=0)
+        batch = next(sampler.epoch(batch_size=10))
+        assert batch.negatives[0] == 1  # the only valid negative
+
+
+class TestSplitEdgeCases:
+    def test_all_train_split(self, small_dataset):
+        split = split_dataset(small_dataset, ratios=(1.0, 0.0, 0.0), seed=0)
+        assert split.valid.num_interactions == 0
+        assert split.test.num_interactions == 0
+        assert (
+            split.train.num_interactions
+            == len(set(zip(small_dataset.user_ids, small_dataset.item_ids)))
+        )
+
+
+class TestEvaluatorEdgeCases:
+    def test_cutoff_beyond_catalogue(self):
+        train = dense_user_dataset()
+        test = train.with_interactions(np.array([1]), np.array([1]))
+        evaluator = Evaluator(train, test, top_n=(100,), metrics=("recall",))
+
+        class Model:
+            def all_scores(self, users):
+                return np.ones((len(users), 3))
+
+        result = evaluator.evaluate(Model())
+        assert 0.0 <= result["recall@100"] <= 1.0
+
+    def test_all_items_excluded_for_user(self):
+        # User 0's training set covers the whole catalogue: ranking is
+        # empty, recall must be 0 rather than crashing.
+        train = dense_user_dataset()
+        test = train.with_interactions(np.array([0]), np.array([1]))
+        evaluator = Evaluator(train, test, top_n=(2,), metrics=("recall",))
+
+        class Model:
+            def all_scores(self, users):
+                return np.ones((len(users), 3))
+
+        result = evaluator.evaluate(Model())
+        assert result["recall@2"] == 0.0
+
+
+class TestClusteringEdgeCases:
+    def test_single_cluster(self, rng):
+        clustering = TagClustering(1, 4, rng=rng)
+        q = clustering.soft_assignments(Tensor(rng.normal(size=(5, 4))))
+        np.testing.assert_allclose(q.data, 1.0)
+        assert clustering.kl_loss(Tensor(rng.normal(size=(5, 4)))).item() == (
+            pytest.approx(0.0, abs=1e-9)
+        )
+
+    def test_identical_tags_stable(self, rng):
+        clustering = TagClustering(3, 4, rng=rng)
+        tags = Tensor(np.ones((10, 4)))
+        q = clustering.soft_assignments(tags)
+        assert np.all(np.isfinite(q.data))
+
+
+class TestAlignmentEdgeCases:
+    def test_single_item_batch(self, small_dataset, small_split, rng):
+        backbone = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        model = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(num_intents=4), rng=np.random.default_rng(0),
+        )
+        model.refresh_clusters(rng)
+        loss = model.alignment_loss(np.array([0]), rng)
+        assert np.isfinite(loss.item())
+
+    def test_aggregate_users_empty_batch(self, rng):
+        out = aggregate_users(
+            np.array([], dtype=int), [np.array([0])],
+            Tensor(rng.normal(size=(1, 4))), rng,
+        )
+        assert out.shape == (0, 4)
+
+
+class TestNumericalRobustness:
+    def test_infonce_with_huge_logits(self):
+        q = Tensor(np.full((3, 4), 100.0))
+        k = Tensor(np.full((3, 4), 100.0))
+        loss = F.info_nce(q, k, temperature=0.01)
+        assert np.isfinite(loss.item())
+
+    def test_bpr_with_extreme_scores(self):
+        pos = Tensor(np.array([1e8]))
+        neg = Tensor(np.array([-1e8]))
+        assert np.isfinite(F.bpr_loss(pos, neg).item())
+
+    def test_l2_normalize_tiny_vectors(self):
+        out = F.l2_normalize(Tensor(np.full((2, 3), 1e-300)))
+        assert np.all(np.isfinite(out.data))
+
+    def test_training_with_zero_weight_components(
+        self, small_dataset, small_split, rng
+    ):
+        """All auxiliary weights zero: IMCAT degrades to plain BPR."""
+        backbone = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        model = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(
+                num_intents=4, alpha=0, beta=0, gamma=0,
+                independence_weight=0,
+            ),
+            rng=np.random.default_rng(0),
+        )
+        from repro.data import ItemTagSampler
+
+        ui = next(BPRSampler(small_split.train, seed=0).epoch(32))
+        it = next(ItemTagSampler(small_dataset, seed=0).epoch(32))
+        loss = model.training_loss(ui, it, np.arange(8), rng)
+        loss.backward()
+        # Tag embeddings receive no gradient in this configuration.
+        assert model.tag_embedding.weight.grad is None

@@ -1,0 +1,116 @@
+"""Tests for model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import load_model, save_model
+from repro.core import IMCAT, IMCATConfig
+from repro.models import BPRMF, LightGCN
+
+
+class TestSaveLoad:
+    def test_backbone_roundtrip(self, small_dataset, tmp_path):
+        model = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        other = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(99),
+        )
+        load_model(other, path)
+        np.testing.assert_allclose(
+            model.all_scores(np.array([0, 1])),
+            other.all_scores(np.array([0, 1])),
+        )
+
+    def test_imcat_roundtrip_with_cluster_state(
+        self, small_dataset, small_split, tmp_path
+    ):
+        rng = np.random.default_rng(0)
+        backbone = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16, rng
+        )
+        model = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(num_intents=4), rng=rng,
+        )
+        model.activate_clustering(np.random.default_rng(1))
+        path = str(tmp_path / "imcat.npz")
+        save_model(model, path)
+
+        rng2 = np.random.default_rng(5)
+        other = IMCAT(
+            BPRMF(small_dataset.num_users, small_dataset.num_items, 16, rng2),
+            small_dataset, small_split.train,
+            IMCATConfig(num_intents=4), rng=rng2,
+        )
+        load_model(other, path)
+        np.testing.assert_array_equal(model.tag_clusters, other.tag_clusters)
+        assert other.clustering_active
+        np.testing.assert_allclose(
+            model.all_scores(np.array([0])), other.all_scores(np.array([0]))
+        )
+
+    def test_extension_added_if_missing(self, small_dataset, tmp_path):
+        model = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 8,
+            np.random.default_rng(0),
+        )
+        base = str(tmp_path / "weights")
+        save_model(model, base + ".npz")
+        load_model(model, base)  # resolves to .npz
+
+    def test_architecture_mismatch_rejected(self, small_dataset, tmp_path):
+        model = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 16,
+            np.random.default_rng(0),
+        )
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        wrong = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 8,
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            load_model(wrong, path)
+
+    def test_lightgcn_scores_preserved(self, small_dataset, small_split, tmp_path):
+        interactions = (small_split.train.user_ids, small_split.train.item_ids)
+        model = LightGCN(
+            small_dataset.num_users, small_dataset.num_items,
+            interactions, 16, rng=np.random.default_rng(0),
+        )
+        path = str(tmp_path / "gcn.npz")
+        save_model(model, path)
+        other = LightGCN(
+            small_dataset.num_users, small_dataset.num_items,
+            interactions, 16, rng=np.random.default_rng(7),
+        )
+        load_model(other, path)
+        np.testing.assert_allclose(
+            model.all_scores(np.array([2])), other.all_scores(np.array([2]))
+        )
+
+
+class TestRecommendHelper:
+    def test_returns_topn(self, small_dataset):
+        model = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 8,
+            np.random.default_rng(0),
+        )
+        items = model.recommend(0, top_n=5)
+        assert len(items) == 5
+
+    def test_excludes_items(self, small_dataset):
+        model = BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 8,
+            np.random.default_rng(0),
+        )
+        full = model.recommend(0, top_n=3)
+        excluded = model.recommend(0, top_n=3, exclude={int(full[0])})
+        assert int(full[0]) not in excluded
