@@ -1,0 +1,24 @@
+# Development targets.  Tiers:
+#   test        tier-1: the unit/integration suite under tests/
+#   bench-smoke tier-2: hot-path perf smoke gated on benchmarks/BENCH_hotpaths.json
+#   bench       the full pytest benchmark suite (paper tables/figures)
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-hotpaths baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m repro.bench smoke
+
+bench-hotpaths:
+	$(PYTHON) -m pytest benchmarks/bench_hotpaths.py -q -s
+
+baseline:
+	$(PYTHON) -m repro.bench smoke --update-baseline
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q -s

@@ -8,6 +8,7 @@ Subpackages:
 - :mod:`repro.models` — backbones (BPRMF/NeuMF/LightGCN) and baselines;
 - :mod:`repro.core` — the IMCAT method (IRM + IMCA + ISA + trainer);
 - :mod:`repro.eval` — ranking metrics, evaluator, group analyses;
+- :mod:`repro.perf` — timers/counters instrumentation for perf reports;
 - :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
 
@@ -27,10 +28,10 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import bench, core, data, eval, models, nn  # noqa: F401
+from . import bench, core, data, eval, models, nn, perf  # noqa: F401
 from .io import load_model, save_model
 
 __all__ = [
     "bench", "core", "data", "eval", "load_model", "models", "nn",
-    "save_model", "__version__",
+    "perf", "save_model", "__version__",
 ]

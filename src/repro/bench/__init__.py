@@ -1,5 +1,16 @@
 """Benchmark harness regenerating the paper's tables and figures."""
 
+from .hotpaths import (
+    HOTPATH_CONFIG,
+    HotpathResult,
+    bench_evaluator,
+    bench_sampler,
+    compare_to_baseline,
+    format_hotpath_table,
+    load_hotpath_results,
+    run_hotpath_suite,
+    save_hotpath_results,
+)
 from .harness import (
     BenchSettings,
     CellResult,
@@ -20,25 +31,34 @@ __all__ = [
     "BenchSettings",
     "CellResult",
     "EXTRAS",
+    "HOTPATH_CONFIG",
+    "HotpathResult",
     "METHODS",
     "PAPER_GRID",
     "SweepResult",
     "TrainedMethod",
     "Trial",
     "bar_chart",
+    "bench_evaluator",
+    "bench_sampler",
     "build_imcat_recipe",
     "compare_results",
+    "compare_to_baseline",
+    "format_hotpath_table",
     "format_series",
     "format_table",
     "format_table2",
     "grid_search",
+    "load_hotpath_results",
     "load_results",
     "normalize_series",
     "prepare_split",
+    "run_hotpath_suite",
     "run_method",
     "run_method_seeds",
     "run_recipe",
     "run_table",
+    "save_hotpath_results",
     "save_results",
     "series_plot",
     "sparkline",

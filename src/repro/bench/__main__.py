@@ -1,0 +1,112 @@
+"""``python -m repro.bench`` — perf smoke targets for CI.
+
+Commands::
+
+    python -m repro.bench smoke            # tiny hot-path run + baseline gate
+    python -m repro.bench smoke --update-baseline
+    python -m repro.bench hotpaths         # full-size hot-path suite
+
+``smoke`` runs the evaluator/sampler hot-path benchmarks on the tiny
+(scaled-down) synthetic benchmark dataset and exits non-zero when the
+fast-path evaluator or sampler throughput regresses more than the
+tolerance (default 2x) versus the recorded baseline JSON
+(``benchmarks/BENCH_hotpaths.json``).  It also fails when the fast and
+reference paths disagree, so the gate catches correctness drift too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .hotpaths import (
+    compare_to_baseline,
+    format_hotpath_table,
+    load_hotpath_results,
+    run_hotpath_suite,
+    save_hotpath_results,
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))),
+    "benchmarks",
+    "BENCH_hotpaths.json",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="hot-path perf smoke runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    for name, default_scale in (("smoke", 1.0), ("hotpaths", 1.0)):
+        cmd = commands.add_parser(
+            name,
+            help=(
+                "tiny hot-path run gated on the recorded baseline"
+                if name == "smoke"
+                else "full-size hot-path suite"
+            ),
+        )
+        cmd.add_argument("--scale", type=float, default=default_scale)
+        cmd.add_argument("--repeats", type=int, default=3)
+        cmd.add_argument("--baseline", default=DEFAULT_BASELINE)
+        cmd.add_argument(
+            "--update-baseline", action="store_true",
+            help="record this run as the new baseline JSON",
+        )
+        cmd.add_argument(
+            "--tolerance", type=float, default=2.0,
+            help="maximum allowed throughput regression factor",
+        )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    payload = run_hotpath_suite(scale=args.scale, repeats=args.repeats)
+    print(format_hotpath_table(payload))
+
+    failures = []
+    for name, result in payload["results"].items():
+        if result["max_abs_diff"] > 1e-9:
+            failures.append(
+                f"{name}: fast/reference outputs diverge by "
+                f"{result['max_abs_diff']:.2e}"
+            )
+
+    if args.update_baseline:
+        save_hotpath_results(payload, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+    elif args.command != "smoke":
+        pass  # `hotpaths` measures without gating
+    elif os.path.exists(args.baseline):
+        baseline = load_hotpath_results(args.baseline)
+        if baseline.get("settings", {}).get("scale") != args.scale:
+            print(
+                f"note: baseline scale "
+                f"{baseline.get('settings', {}).get('scale')} differs from "
+                f"current {args.scale}; throughput gate skipped"
+            )
+        else:
+            failures.extend(
+                compare_to_baseline(payload, baseline, args.tolerance)
+            )
+    else:
+        print(f"note: no baseline at {args.baseline}; throughput gate skipped")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("hot-path smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

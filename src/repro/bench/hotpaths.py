@@ -1,0 +1,323 @@
+"""Hot-path micro-benchmarks: evaluator and sampler throughput.
+
+The two hottest loops of every experiment are full-ranking evaluation
+and BPR negative sampling.  Both now have a vectorized fast path plus
+the original per-row reference implementation
+(:meth:`~repro.eval.Evaluator.evaluate_reference`,
+``sample_negatives_reference``); this module times the two against each
+other on a synthetic dataset, checks the outputs agree, and persists
+the throughputs as JSON (``BENCH_hotpaths.json``) so the perf
+trajectory is tracked across code versions.
+
+Used from three places: the pytest bench (``benchmarks/bench_hotpaths.py``),
+the tier-2 smoke target (``python -m repro.bench smoke``), and ad hoc
+profiling sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import (
+    BPRSampler,
+    ItemTagSampler,
+    SyntheticConfig,
+    generate,
+    generate_preset,
+    split_dataset,
+)
+from ..eval import Evaluator
+
+#: The dedicated hot-path benchmark dataset: user-heavy and item-light,
+#: the regime where full-ranking evaluation is bound by per-user work
+#: rather than by the O(|V|) score selection both paths share.  Serving
+#: workloads look like this (many users, a curated catalogue), and it
+#: makes the benchmark sensitive to per-row Python creeping back into
+#: the hot loops.
+HOTPATH_CONFIG = SyntheticConfig(
+    name="hotpath-bench",
+    num_users=6000,
+    num_items=300,
+    num_tags=400,
+    num_factors=8,
+    mean_user_degree=12.0,
+    mean_item_tags=10.0,
+)
+
+
+@dataclass
+class HotpathResult:
+    """Fast-vs-reference timing of one hot path."""
+
+    name: str
+    units: int
+    fast_seconds: float
+    reference_seconds: float
+    max_abs_diff: float
+
+    @property
+    def fast_throughput(self) -> float:
+        """Units (users ranked / triplets sampled) per second, fast path."""
+        return self.units / self.fast_seconds if self.fast_seconds > 0 else 0.0
+
+    @property
+    def reference_throughput(self) -> float:
+        return (
+            self.units / self.reference_seconds
+            if self.reference_seconds > 0
+            else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.reference_seconds / self.fast_seconds
+            if self.fast_seconds > 0
+            else 0.0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "units": self.units,
+            "fast_seconds": self.fast_seconds,
+            "reference_seconds": self.reference_seconds,
+            "fast_throughput": self.fast_throughput,
+            "reference_throughput": self.reference_throughput,
+            "speedup": self.speedup,
+            "max_abs_diff": self.max_abs_diff,
+        }
+
+
+class _FactorScorer:
+    """Deterministic dense scorer standing in for a trained model.
+
+    A random low-rank factor model: continuous scores (no ties, so the
+    fast and reference rankings are comparable) at one matmul per
+    chunk, which keeps scoring cost from masking the ranking loop this
+    benchmark targets.
+    """
+
+    def __init__(
+        self, num_users: int, num_items: int, dim: int = 32, seed: int = 0
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self._user = rng.normal(size=(num_users, dim))
+        self._item = rng.normal(size=(num_items, dim))
+
+    def all_scores(self, users: np.ndarray) -> np.ndarray:
+        return self._user[users] @ self._item.T
+
+
+def _best_of(func: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` runs plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_evaluator(
+    split,
+    top_n: Sequence[int] = (20,),
+    embed_dim: int = 32,
+    chunk_size: int = 256,
+    repeats: int = 3,
+    seed: int = 0,
+) -> HotpathResult:
+    """Time the vectorized evaluator against the per-user reference.
+
+    ``max_abs_diff`` is the largest per-user metric discrepancy between
+    the two paths — the acceptance bound is 1e-9.
+    """
+    evaluator = Evaluator(
+        split.train, split.test, top_n=top_n, metrics=("recall", "ndcg")
+    )
+    model = _FactorScorer(
+        split.train.num_users, split.train.num_items, embed_dim, seed
+    )
+    fast_s, fast = _best_of(
+        lambda: evaluator.evaluate(model, chunk_size=chunk_size), repeats
+    )
+    ref_s, ref = _best_of(
+        lambda: evaluator.evaluate_reference(model, chunk_size=chunk_size), repeats
+    )
+    diff = max(
+        float(np.max(np.abs(fast.per_user[key] - ref.per_user[key])))
+        for key in fast.per_user
+    )
+    return HotpathResult(
+        name="evaluator",
+        units=len(evaluator.eval_users),
+        fast_seconds=fast_s,
+        reference_seconds=ref_s,
+        max_abs_diff=diff,
+    )
+
+
+def bench_sampler(
+    dataset,
+    kind: str = "user-item",
+    batch_size: int = 1024,
+    repeats: int = 3,
+    seed: int = 0,
+) -> HotpathResult:
+    """Time vectorized negative sampling against the set-based loop.
+
+    Both paths consume the RNG identically, so two same-seed samplers
+    produce bit-identical negatives — ``max_abs_diff`` is the largest
+    index discrepancy and must be exactly 0.
+    """
+    if kind == "user-item":
+        make = lambda s: BPRSampler(dataset, seed=s)  # noqa: E731
+    elif kind == "item-tag":
+        make = lambda s: ItemTagSampler(dataset, seed=s)  # noqa: E731
+    else:
+        raise ValueError(f"kind must be 'user-item' or 'item-tag', got {kind!r}")
+
+    def epoch_of_negatives(method_name: str) -> Callable[[], np.ndarray]:
+        # A fresh same-seed sampler per run: both paths consume the RNG
+        # identically and pay their own construction cost.
+        def once() -> np.ndarray:
+            sampler = make(seed)
+            sample = getattr(sampler, method_name)
+            out = []
+            for start in range(0, sampler.num_positives, batch_size):
+                out.append(sample(sampler.anchors[start : start + batch_size]))
+            return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+        return once
+
+    fast_s, fast = _best_of(epoch_of_negatives("sample_negatives"), repeats)
+    ref_s, ref = _best_of(epoch_of_negatives("sample_negatives_reference"), repeats)
+    diff = float(np.max(np.abs(fast - ref))) if len(fast) else 0.0
+    return HotpathResult(
+        name=f"sampler/{kind}",
+        units=len(fast),
+        fast_seconds=fast_s,
+        reference_seconds=ref_s,
+        max_abs_diff=diff,
+    )
+
+
+def run_hotpath_suite(
+    dataset_name: Optional[str] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    split_seed: int = 2,
+    batch_size: int = 1024,
+    repeats: int = 3,
+) -> Dict[str, dict]:
+    """Run all hot-path benchmarks on one synthetic dataset.
+
+    With no ``dataset_name`` the dedicated :data:`HOTPATH_CONFIG`
+    dataset is used (``scale`` shrinks it for smoke runs); a Table I
+    preset name measures the paths under that dataset's shape instead.
+
+    Returns a JSON-safe payload: settings plus one entry per benchmark.
+    """
+    if dataset_name is None:
+        config = HOTPATH_CONFIG
+        if scale != 1.0:
+            config = config.scaled(scale)
+        dataset = generate(config, seed=seed)
+        dataset_label = config.name
+    else:
+        dataset = generate_preset(dataset_name, scale=scale, seed=seed)
+        dataset_label = dataset_name
+    split = split_dataset(dataset, seed=split_seed)
+    results = [
+        bench_evaluator(split, repeats=repeats),
+        bench_sampler(split.train, "user-item", batch_size, repeats),
+        bench_sampler(dataset, "item-tag", batch_size, repeats),
+    ]
+    return {
+        "settings": {
+            "dataset": dataset_label,
+            "scale": scale,
+            "seed": seed,
+            "batch_size": batch_size,
+            "repeats": repeats,
+        },
+        "results": {result.name: result.as_dict() for result in results},
+    }
+
+
+def save_hotpath_results(payload: Dict[str, dict], path: str) -> None:
+    """Persist a suite payload as ``BENCH_hotpaths.json``-style JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_hotpath_results(path: str) -> Dict[str, dict]:
+    """Read back a payload written by :func:`save_hotpath_results`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(
+    current: Dict[str, dict],
+    baseline: Dict[str, dict],
+    max_regression: float = 2.0,
+) -> List[str]:
+    """Throughput regressions of ``current`` versus ``baseline``.
+
+    Returns human-readable failure strings for every benchmark whose
+    fast-path throughput fell below ``baseline / max_regression``
+    (absolute wall-clock comparisons across machines are noisy, so the
+    tolerance is deliberately loose — the check catches the fast path
+    silently degrading to reference speed, not minor jitter).
+    """
+    failures: List[str] = []
+    for name, base in baseline.get("results", {}).items():
+        cur = current.get("results", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base["fast_throughput"] / max_regression
+        if cur["fast_throughput"] < floor:
+            failures.append(
+                f"{name}: throughput {cur['fast_throughput']:.0f}/s is below "
+                f"{floor:.0f}/s (baseline {base['fast_throughput']:.0f}/s "
+                f"/ {max_regression:g})"
+            )
+    return failures
+
+
+def format_hotpath_table(payload: Dict[str, dict]) -> str:
+    """Text table of a suite payload (mirrors the bench tables' style)."""
+    from .tables import format_table
+
+    rows = []
+    for name, result in sorted(payload["results"].items()):
+        rows.append(
+            [
+                name,
+                result["units"],
+                result["fast_throughput"],
+                result["reference_throughput"],
+                result["speedup"],
+                result["max_abs_diff"],
+            ]
+        )
+    settings = payload.get("settings", {})
+    title = (
+        f"hot paths ({settings.get('dataset', '?')} @ "
+        f"scale={settings.get('scale', '?')})"
+    )
+    return format_table(
+        ["path", "units", "fast/s", "ref/s", "speedup", "max |diff|"],
+        rows,
+        title=title,
+    )

@@ -52,22 +52,39 @@ class UserAggregator:
         self._users_of_item = users_of_item
         self.max_users = max_users
         self.mode = mode
-        self._padded = np.zeros((len(users_of_item), max_users), dtype=np.int64)
-        self._counts = np.zeros(len(users_of_item), dtype=np.int64)
+        num_items = len(users_of_item)
+        lengths = np.fromiter(
+            (len(u) for u in users_of_item), dtype=np.int64, count=num_items
+        )
+        self._counts = np.minimum(lengths, max_users)
+        self._padded = np.zeros((num_items, max_users), dtype=np.int64)
+        # Items at or below capacity keep their full user lists forever;
+        # fill them once with a single flat scatter.  Only over-capacity
+        # items ever change across resamples.
+        under = np.flatnonzero((lengths > 0) & (lengths <= max_users))
+        if len(under):
+            under_lengths = lengths[under]
+            rows = np.repeat(under, under_lengths)
+            cols = np.arange(int(under_lengths.sum())) - np.repeat(
+                np.concatenate([[0], np.cumsum(under_lengths)[:-1]]), under_lengths
+            )
+            self._padded[rows, cols] = np.concatenate(
+                [users_of_item[i] for i in under]
+            )
+        self._over = np.flatnonzero(lengths > max_users)
         self.resample(rng)
 
     def resample(self, rng: np.random.Generator) -> None:
-        """Redraw the subsample of users for over-capacity items."""
-        for item, users in enumerate(self._users_of_item):
-            n = min(len(users), self.max_users)
-            self._counts[item] = n
-            if n == 0:
-                continue
-            if len(users) > self.max_users:
-                picked = rng.choice(users, size=self.max_users, replace=False)
-            else:
-                picked = users
-            self._padded[item, :n] = picked
+        """Redraw the subsample of users for over-capacity items.
+
+        Iterates only the over-capacity items (at-capacity rows were
+        written once at construction), so a cluster-refresh resample no
+        longer loops the full item vocabulary.
+        """
+        for item in self._over:
+            self._padded[item] = rng.choice(
+                self._users_of_item[item], size=self.max_users, replace=False
+            )
 
     def __call__(
         self,
@@ -110,7 +127,7 @@ class UserAggregator:
         return F.scale_rows(sums, 1.0 / np.maximum(counts, 1))
 
 
-def aggregate_users(
+def _reference_aggregate_users(
     item_batch: np.ndarray,
     users_of_item: Sequence[np.ndarray],
     user_embeddings: Tensor,
@@ -118,6 +135,10 @@ def aggregate_users(
     max_users: int = 32,
 ) -> Tensor:
     """Eq. (7): mean user embedding per batch item, ``(B, d)``.
+
+    Reference implementation — the production path is
+    :class:`UserAggregator`, which precomputes the padded index matrix;
+    this per-item loop is kept for the equivalence tests.
 
     Popular items subsample at most ``max_users`` interacting users to
     bound the cost; the mean commutes with intent slicing, so one full-
@@ -142,6 +163,11 @@ def aggregate_users(
     user_ids = np.concatenate(user_ids)
     rows = F.embedding_lookup(user_embeddings, user_ids)
     return F.segment_mean(rows, segment_ids, len(item_batch))
+
+
+#: Public alias — kept importable, but new code should prefer
+#: :class:`UserAggregator` (the vectorized production path).
+aggregate_users = _reference_aggregate_users
 
 
 class TagAggregator:
@@ -191,7 +217,7 @@ class TagAggregator:
         return aggregated, counts
 
 
-def aggregate_tags_per_cluster(
+def _reference_aggregate_tags_per_cluster(
     item_batch: np.ndarray,
     tags_of_item: Sequence[np.ndarray],
     tag_embeddings: Tensor,
@@ -199,6 +225,10 @@ def aggregate_tags_per_cluster(
     num_intents: int,
 ) -> tuple[Tensor, np.ndarray]:
     """Eq. (8): per-(item, cluster) mean tag embedding.
+
+    Reference implementation — the production path is
+    :class:`TagAggregator`, which stores the item→tags lists in CSR
+    form; this per-item loop is kept for the equivalence tests.
 
     Returns:
         A ``(B * K, d)`` tensor whose row ``pos * K + k`` is
@@ -227,6 +257,11 @@ def aggregate_tags_per_cluster(
         rows, segment_ids, len(item_batch) * num_intents
     )
     return aggregated, counts
+
+
+#: Public alias — kept importable, but new code should prefer
+#: :class:`TagAggregator` (the vectorized production path).
+aggregate_tags_per_cluster = _reference_aggregate_tags_per_cluster
 
 
 def relatedness_weights(counts: np.ndarray) -> np.ndarray:

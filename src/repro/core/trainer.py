@@ -6,21 +6,27 @@ informative.  Phase 2: warm-start the cluster centres with K-means,
 activate ``L_KL``, and refresh hard memberships every
 ``cluster_refresh_every`` steps.  Early stopping monitors validation
 Recall@20.
+
+Every run carries a :class:`~repro.perf.StopwatchRegistry` /
+:class:`~repro.perf.CounterRegistry` pair: the trainer times the
+sampling / forward / backward / cluster-refresh / eval phases and
+attaches the resulting :class:`~repro.perf.PerfReport` to the train
+result, so any experiment can print a phase breakdown.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
-from ..data.sampling import BPRSampler, ItemTagSampler, sample_item_batches
+from ..data.sampling import BPRSampler, IndexCycler, ItemTagSampler, TripletCycler
 from ..data.split import Split
 from ..eval.evaluator import Evaluator
 from ..nn import Adam
+from ..perf import CounterRegistry, PerfReport, StopwatchRegistry
 from .config import IMCATConfig
 from .imcat import IMCAT
 
@@ -49,6 +55,7 @@ class IMCATTrainResult:
     epochs_run: int
     wall_time: float
     history: List[dict] = field(default_factory=list)
+    perf: Optional[PerfReport] = field(default=None, repr=False)
 
 
 class IMCATTrainer:
@@ -60,6 +67,8 @@ class IMCATTrainer:
             ``split.train``, early stopping from ``split.valid``.
         train_config: optimisation settings.
         evaluator: optional custom validation evaluator.
+        perf: optional timer registry to record phase timings into
+            (a fresh one is created per :meth:`fit` call otherwise).
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class IMCATTrainer:
         split: Split,
         train_config: Optional[IMCATTrainConfig] = None,
         evaluator: Optional[Evaluator] = None,
+        perf: Optional[StopwatchRegistry] = None,
     ) -> None:
         self.model = model
         self.split = split
@@ -78,6 +88,7 @@ class IMCATTrainer:
             top_n=(self.config.top_n,),
             metrics=("recall",),
         )
+        self.perf = perf
 
     def fit(self) -> IMCATTrainResult:
         """Run the full schedule; restores the best validation state."""
@@ -96,10 +107,21 @@ class IMCATTrainer:
             lr=config.learning_rate,
             weight_decay=config.weight_decay,
         )
+        perf = self.perf if self.perf is not None else StopwatchRegistry()
+        counters = CounterRegistry()
 
         # Phase-1 alignment uses a single degenerate cluster; build the
         # ISA index for it once.
-        model.refresh_clusters(rng)
+        with perf.timed("cluster-refresh"):
+            model.refresh_clusters(rng)
+
+        # Auxiliary batch streams: index arrays are cached once and
+        # reshuffled in place at each wrap instead of rebuilding Python
+        # lists of every batch at every epoch.
+        it_batches = TripletCycler(it_sampler, config.batch_size, rng)
+        item_batches = IndexCycler(
+            model.num_items, imcat_config.align_batch_size, rng
+        )
 
         best_metric = -np.inf
         best_epoch = -1
@@ -116,38 +138,43 @@ class IMCATTrainer:
                 model.activate_clustering(rng)
             model.train()
             model.refresh_epoch(epoch)
-            it_batches = itertools.cycle(list(it_sampler.epoch(config.batch_size)))
-            item_batches = itertools.cycle(
-                list(
-                    sample_item_batches(
-                        model.num_items, imcat_config.align_batch_size, rng
-                    )
-                )
-            )
             epoch_loss = 0.0
             num_batches = 0
-            for ui_batch in ui_sampler.epoch(config.batch_size):
+            ui_epoch = ui_sampler.epoch(config.batch_size)
+            while True:
+                with perf.timed("sampling"):
+                    ui_batch = next(ui_epoch, None)
+                    if ui_batch is not None:
+                        it_batch = next(it_batches)
+                        item_batch = next(item_batches)
+                if ui_batch is None:
+                    break
                 model.begin_step()
-                loss = model.training_loss(
-                    ui_batch, next(it_batches), next(item_batches), rng
-                )
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+                with perf.timed("forward"):
+                    loss = model.training_loss(ui_batch, it_batch, item_batch, rng)
+                with perf.timed("backward"):
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
                 epoch_loss += loss.item()
                 num_batches += 1
                 step += 1
+                counters.add("steps")
+                counters.add("triplets", len(ui_batch))
                 if (
                     model.clustering_active
                     and step % imcat_config.cluster_refresh_every == 0
                 ):
-                    model.refresh_clusters(rng)
+                    with perf.timed("cluster-refresh"):
+                        model.refresh_clusters(rng)
 
             record = {"epoch": epoch, "loss": epoch_loss / max(num_batches, 1)}
             if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
                 model.eval()
                 model.begin_step()
-                result = self.evaluator.evaluate(model)
+                with perf.timed("eval"):
+                    result = self.evaluator.evaluate(model, perf=perf)
+                counters.add("evals")
                 record[metric_key] = result[metric_key]
                 if config.verbose:
                     print(
@@ -177,5 +204,5 @@ class IMCATTrainer:
             epochs_run=epochs_run,
             wall_time=time.time() - start,
             history=history,
+            perf=PerfReport.from_registries(perf, counters),
         )
-

@@ -25,7 +25,14 @@ from .preprocess import (
     preprocess,
     preprocess_dataset,
 )
-from .sampling import BPRSampler, ItemTagSampler, TripletBatch, sample_item_batches
+from .sampling import (
+    BPRSampler,
+    IndexCycler,
+    ItemTagSampler,
+    TripletBatch,
+    TripletCycler,
+    sample_item_batches,
+)
 from .split import Split, split_dataset
 from .stats import DatasetStatistics, compute_statistics
 from .synthetic import (
@@ -44,6 +51,7 @@ __all__ = [
     "DATASET_ORDER",
     "DatasetStatistics",
     "DegreeReport",
+    "IndexCycler",
     "ItemTagSampler",
     "PAPER_STATISTICS",
     "PRESETS",
@@ -54,6 +62,7 @@ __all__ = [
     "SyntheticGroundTruth",
     "TagRecDataset",
     "TripletBatch",
+    "TripletCycler",
     "analyze_item_degrees",
     "available_datasets",
     "binarize_ratings",

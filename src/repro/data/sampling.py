@@ -4,12 +4,20 @@ Section V.D: every positive pair is matched with one sampled negative;
 batch size 1024.  Two samplers are provided — one over user-item
 interactions (for ``L_UV``, Eq. 1) and one over item-tag assignments
 (for ``L_VT``, Eq. 2, "recommending tags to items").
+
+Membership tests run against a globally sorted key array
+(``anchor * |candidates| + candidate``) with ``np.searchsorted``, so a
+full rejection round is pure NumPy — no per-row Python sets.  The
+original set-based rejection loop survives as
+``sample_negatives_reference`` on both samplers; it draws from the
+identical RNG stream, so the two paths produce bit-identical triplets
+(the property the hot-path benchmarks and equivalence tests exploit).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -28,43 +36,115 @@ class TripletBatch:
         return len(self.anchors)
 
 
-class BPRSampler:
-    """Uniform BPR triplet sampler over user-item interactions.
+class _SortedPairIndex:
+    """Sorted (anchor, value) key set with vectorized membership tests."""
 
-    Negatives are drawn uniformly from the item universe and rejected if
-    they appear in the anchor user's training set (resampled up to a
-    bounded number of rounds — with the sparse matrices of Table I the
-    first draw almost always succeeds).
+    def __init__(
+        self, anchors: np.ndarray, values: np.ndarray, num_values: int
+    ) -> None:
+        self._num_values = num_values
+        self._keys = np.sort(
+            anchors.astype(np.int64) * num_values + values.astype(np.int64)
+        )
+
+    def contains(self, anchors: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Boolean mask: is ``(anchors[i], values[i])`` a known pair?"""
+        if len(self._keys) == 0:
+            return np.zeros(len(anchors), dtype=bool)
+        keys = anchors.astype(np.int64) * self._num_values + values
+        pos = np.searchsorted(self._keys, keys)
+        inside = pos < len(self._keys)
+        pos[~inside] = 0
+        return inside & (self._keys[pos] == keys)
+
+
+class _PairSampler:
+    """Shared machinery of the two BPR triplet samplers.
+
+    Holds the positive pair arrays, the sorted membership index, and
+    the uniform-with-rejection negative draw.  Subclasses only name the
+    anchor/value universes.
     """
 
-    def __init__(self, dataset: TagRecDataset, seed: int = 0) -> None:
-        self._num_items = dataset.num_items
-        self._users = dataset.user_ids
-        self._items = dataset.item_ids
-        self._positives: List[set] = [
-            set(items.tolist()) for items in dataset.items_of_user()
-        ]
+    def __init__(
+        self,
+        anchors: np.ndarray,
+        positives: np.ndarray,
+        num_candidates: int,
+        seed: int,
+    ) -> None:
+        self._anchors = anchors
+        self._positive_values = positives
+        self._num_candidates = num_candidates
+        self._index = _SortedPairIndex(anchors, positives, num_candidates)
+        self._positive_sets: Optional[List[set]] = None
         self._rng = np.random.default_rng(seed)
 
     @property
     def num_positives(self) -> int:
-        return len(self._users)
+        return len(self._anchors)
+
+    @property
+    def anchors(self) -> np.ndarray:
+        """The anchor id of every positive pair, in dataset order."""
+        return self._anchors
 
     def sample_negatives(self, anchors: np.ndarray, rounds: int = 20) -> np.ndarray:
-        """Draw one negative item per anchor user."""
-        negatives = self._rng.integers(0, self._num_items, size=len(anchors))
+        """Draw one negative per anchor, rejecting known positives.
+
+        With the sparse matrices of Table I the first draw almost
+        always succeeds; ``rounds`` bounds the worst case.
+        """
+        negatives = self._rng.integers(0, self._num_candidates, size=len(anchors))
+        for _ in range(rounds):
+            clashes = self._index.contains(anchors, negatives)
+            if not clashes.any():
+                break
+            negatives[clashes] = self._rng.integers(
+                0, self._num_candidates, size=int(clashes.sum())
+            )
+        return negatives
+
+    def sample_negatives_reference(
+        self, anchors: np.ndarray, rounds: int = 20
+    ) -> np.ndarray:
+        """The original per-pair set-membership rejection loop.
+
+        Kept as the baseline of the hot-path benchmarks; consumes the
+        RNG identically to :meth:`sample_negatives`.
+        """
+        if self._positive_sets is None:
+            self._positive_sets = [set() for _ in range(self._num_anchors())]
+            for anchor, value in zip(self._anchors, self._positive_values):
+                self._positive_sets[anchor].add(int(value))
+        positives = self._positive_sets
+        negatives = self._rng.integers(0, self._num_candidates, size=len(anchors))
         for _ in range(rounds):
             clashes = np.fromiter(
-                (neg in self._positives[u] for u, neg in zip(anchors, negatives)),
+                (neg in positives[a] for a, neg in zip(anchors, negatives)),
                 dtype=bool,
                 count=len(anchors),
             )
             if not clashes.any():
                 break
-            negatives[clashes] = self._rng.integers(0, self._num_items, size=clashes.sum())
+            negatives[clashes] = self._rng.integers(
+                0, self._num_candidates, size=int(clashes.sum())
+            )
         return negatives
 
-    def epoch(self, batch_size: int = 1024, shuffle: bool = True) -> Iterator[TripletBatch]:
+    def _num_anchors(self) -> int:
+        return int(self._anchors.max()) + 1 if len(self._anchors) else 0
+
+    def take(self, index: np.ndarray) -> TripletBatch:
+        """Materialise the triplets at ``index`` with fresh negatives."""
+        anchors = self._anchors[index]
+        return TripletBatch(
+            anchors, self._positive_values[index], self.sample_negatives(anchors)
+        )
+
+    def epoch(
+        self, batch_size: int = 1024, shuffle: bool = True
+    ) -> Iterator[TripletBatch]:
         """Yield triplet batches covering every positive once."""
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -74,14 +154,24 @@ class BPRSampler:
             else np.arange(self.num_positives)
         )
         for start in range(0, len(order), batch_size):
-            index = order[start : start + batch_size]
-            anchors = self._users[index]
-            positives = self._items[index]
-            negatives = self.sample_negatives(anchors)
-            yield TripletBatch(anchors, positives, negatives)
+            yield self.take(order[start : start + batch_size])
 
 
-class ItemTagSampler:
+class BPRSampler(_PairSampler):
+    """Uniform BPR triplet sampler over user-item interactions.
+
+    Negatives are drawn uniformly from the item universe and rejected if
+    they appear in the anchor user's training set (resampled up to a
+    bounded number of rounds).
+    """
+
+    def __init__(self, dataset: TagRecDataset, seed: int = 0) -> None:
+        super().__init__(
+            dataset.user_ids, dataset.item_ids, dataset.num_items, seed
+        )
+
+
+class ItemTagSampler(_PairSampler):
     """BPR triplet sampler over item-tag assignments (Eq. 2).
 
     Anchors are items, positives their assigned tags, negatives uniform
@@ -89,47 +179,75 @@ class ItemTagSampler:
     """
 
     def __init__(self, dataset: TagRecDataset, seed: int = 0) -> None:
-        self._num_tags = dataset.num_tags
-        self._items = dataset.tag_item_ids
-        self._tags = dataset.tag_ids
-        self._positives: List[set] = [
-            set(tags.tolist()) for tags in dataset.tags_of_item()
-        ]
-        self._rng = np.random.default_rng(seed)
+        super().__init__(
+            dataset.tag_item_ids, dataset.tag_ids, dataset.num_tags, seed
+        )
 
-    @property
-    def num_positives(self) -> int:
-        return len(self._items)
 
-    def sample_negatives(self, anchors: np.ndarray, rounds: int = 20) -> np.ndarray:
-        """Draw one negative tag per anchor item."""
-        negatives = self._rng.integers(0, self._num_tags, size=len(anchors))
-        for _ in range(rounds):
-            clashes = np.fromiter(
-                (neg in self._positives[v] for v, neg in zip(anchors, negatives)),
-                dtype=bool,
-                count=len(anchors),
-            )
-            if not clashes.any():
-                break
-            negatives[clashes] = self._rng.integers(0, self._num_tags, size=clashes.sum())
-        return negatives
+class TripletCycler:
+    """Endless triplet-batch stream over a sampler's positives.
 
-    def epoch(self, batch_size: int = 1024, shuffle: bool = True) -> Iterator[TripletBatch]:
-        """Yield triplet batches covering every item-tag pair once."""
+    Caches one index array and reshuffles it *in place* at each wrap,
+    replacing the per-epoch ``itertools.cycle(list(sampler.epoch(...)))``
+    pattern that rebuilt a Python list of every batch every epoch.
+    Negatives are drawn fresh for every batch, as before.
+    """
+
+    def __init__(
+        self,
+        sampler: _PairSampler,
+        batch_size: int,
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        order = (
-            self._rng.permutation(self.num_positives)
-            if shuffle
-            else np.arange(self.num_positives)
-        )
-        for start in range(0, len(order), batch_size):
-            index = order[start : start + batch_size]
-            anchors = self._items[index]
-            positives = self._tags[index]
-            negatives = self.sample_negatives(anchors)
-            yield TripletBatch(anchors, positives, negatives)
+        self._sampler = sampler
+        self._batch_size = batch_size
+        self._rng = rng
+        self._shuffle = shuffle
+        self._order = np.arange(sampler.num_positives)
+        self._cursor = len(self._order)  # force a shuffle on first use
+
+    def __iter__(self) -> "TripletCycler":
+        return self
+
+    def __next__(self) -> TripletBatch:
+        if self._cursor >= len(self._order):
+            if self._shuffle:
+                self._rng.shuffle(self._order)
+            self._cursor = 0
+        index = self._order[self._cursor : self._cursor + self._batch_size]
+        self._cursor += self._batch_size
+        return self._sampler.take(index)
+
+
+class IndexCycler:
+    """Endless shuffled index batches over ``range(n)``.
+
+    The in-place-reshuffle analogue of :func:`sample_item_batches` for
+    callers that need an unbounded stream (the alignment losses draw
+    one item batch per training step).
+    """
+
+    def __init__(self, n: int, batch_size: int, rng: np.random.Generator) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._order = np.arange(n)
+        self._batch_size = batch_size
+        self._rng = rng
+        self._cursor = len(self._order)
+
+    def __iter__(self) -> "IndexCycler":
+        return self
+
+    def __next__(self) -> np.ndarray:
+        if self._cursor >= len(self._order):
+            self._rng.shuffle(self._order)
+            self._cursor = 0
+        batch = self._order[self._cursor : self._cursor + self._batch_size]
+        self._cursor += self._batch_size
+        return batch
 
 
 def sample_item_batches(

@@ -1,0 +1,23 @@
+"""Lightweight performance instrumentation.
+
+- :class:`StopwatchRegistry` — nested named wall-clock timers;
+- :class:`CounterRegistry` — monotonic work counters;
+- :class:`PerfReport` / :func:`format_report` — text + JSON rendering.
+
+The trainer and evaluator thread one registry pair through a run so
+every experiment can print a phase-by-phase breakdown (sampling /
+forward / backward / cluster-refresh / eval) and the hot-path
+benchmarks can persist throughputs for regression tracking.
+"""
+
+from .counters import CounterRegistry
+from .report import PerfReport, format_report
+from .timers import StopwatchRegistry, TimerStat
+
+__all__ = [
+    "CounterRegistry",
+    "PerfReport",
+    "StopwatchRegistry",
+    "TimerStat",
+    "format_report",
+]

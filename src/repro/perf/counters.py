@@ -1,0 +1,41 @@
+"""Monotonic event counters complementing the wall-clock timers.
+
+Counters track *how much work* a phase did (steps, triplets sampled,
+users ranked) so reports can derive throughputs by dividing a counter
+by its matching timer total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class CounterRegistry:
+    """Named integer counters with a tiny increment API."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` by ``amount`` (creates it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def rate(self, name: str, seconds: float) -> float:
+        """Events per second, 0.0 when no time was spent."""
+        return self.get(name) / seconds if seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def merge(self, other: "CounterRegistry") -> None:
+        for name, amount in other.counts().items():
+            self.add(name, amount)
+
+    def reset(self) -> None:
+        self._counts.clear()

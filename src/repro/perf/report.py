@@ -1,0 +1,85 @@
+"""Render a timing/counter registry pair into reports.
+
+The text format is a share-of-total breakdown sorted by time::
+
+    phase                       total s   count    mean ms   share
+    forward                      12.041    4800      2.509   61.3%
+    backward                      5.310    4800      1.106   27.0%
+    ...
+
+``to_dict`` produces the JSON payload persisted by the hot-path
+benchmarks, so one schema serves interactive printing, CI comparisons,
+and the ``BENCH_hotpaths.json`` trajectory file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .counters import CounterRegistry
+from .timers import StopwatchRegistry
+
+
+@dataclass
+class PerfReport:
+    """Snapshot of one run's timers and counters."""
+
+    timers: Dict[str, dict] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_registries(
+        cls,
+        timers: StopwatchRegistry,
+        counters: Optional[CounterRegistry] = None,
+    ) -> "PerfReport":
+        return cls(
+            timers=timers.as_dict(),
+            counters=counters.as_dict() if counters is not None else {},
+        )
+
+    def total_seconds(self) -> float:
+        """Sum over top-level scopes (nested scopes are already inside)."""
+        return sum(
+            stat["total"] for path, stat in self.timers.items() if "/" not in path
+        )
+
+    def to_dict(self) -> dict:
+        return {"timers": self.timers, "counters": self.counters}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format(self, title: str = "perf breakdown") -> str:
+        """Align the breakdown as a text table."""
+        lines = [title, ""]
+        header = f"{'phase':<32} {'total s':>9} {'count':>7} {'mean ms':>9} {'share':>7}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        grand = self.total_seconds()
+        for path, stat in sorted(
+            self.timers.items(), key=lambda kv: -kv[1]["total"]
+        ):
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            share = stat["total"] / grand if grand > 0 else 0.0
+            lines.append(
+                f"{label:<32} {stat['total']:>9.3f} {stat['count']:>7d} "
+                f"{1000.0 * stat['mean']:>9.3f} {100.0 * share:>6.1f}%"
+            )
+        if self.counters:
+            lines.append("")
+            for name, amount in sorted(self.counters.items()):
+                lines.append(f"{name:<32} {amount:>9d}")
+        return "\n".join(lines)
+
+
+def format_report(
+    timers: StopwatchRegistry,
+    counters: Optional[CounterRegistry] = None,
+    title: str = "perf breakdown",
+) -> str:
+    """One-call text rendering of live registries."""
+    return PerfReport.from_registries(timers, counters).format(title)

@@ -1,0 +1,136 @@
+"""Nested wall-clock timers for phase-by-phase run breakdowns.
+
+A :class:`StopwatchRegistry` aggregates named timing scopes opened with
+:meth:`StopwatchRegistry.timed`.  Scopes nest: a scope opened while
+another is active records under the slash-joined path of the active
+stack (``"epoch/eval/score"``), so a single registry threaded through
+the trainer and the evaluator yields a hierarchical breakdown without
+either component knowing about the other.
+
+Timing uses :func:`time.perf_counter` and adds one dictionary update
+per scope exit, so the registry is cheap enough to leave enabled on the
+training hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class TimerStat:
+    """Aggregate statistics for one named timing scope."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+
+class StopwatchRegistry:
+    """Collects nested named timings for one run.
+
+    Usage::
+
+        perf = StopwatchRegistry()
+        with perf.timed("epoch"):
+            with perf.timed("forward"):
+                ...
+        perf.total("epoch/forward")  # seconds inside the nested scope
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, TimerStat] = {}
+        self._stack: List[str] = []
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Time a scope under ``name``, prefixed by any active scopes."""
+        path = self._qualify(name)
+        self._stack.append(path)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            self.record(path, elapsed)
+
+    def record(self, path: str, seconds: float) -> None:
+        """Record an externally measured duration under ``path``."""
+        stat = self._stats.get(path)
+        if stat is None:
+            stat = self._stats[path] = TimerStat()
+        stat.record(seconds)
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._stack[-1]}/{name}" if self._stack else name
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, TimerStat]:
+        """All aggregates keyed by slash-joined scope path."""
+        return dict(self._stats)
+
+    def total(self, path: str) -> float:
+        """Total seconds recorded under ``path`` (0.0 if never entered)."""
+        stat = self._stats.get(path)
+        return stat.total if stat is not None else 0.0
+
+    def count(self, path: str) -> int:
+        """Number of times ``path`` was entered."""
+        stat = self._stats.get(path)
+        return stat.count if stat is not None else 0
+
+    def exclusive_total(self, path: str) -> float:
+        """Seconds in ``path`` not covered by its direct child scopes."""
+        children = sum(
+            stat.total
+            for child, stat in self._stats.items()
+            if child.startswith(path + "/") and "/" not in child[len(path) + 1 :]
+        )
+        return self.total(path) - children
+
+    def as_dict(self) -> Dict[str, dict]:
+        """JSON-safe representation of every scope."""
+        return {path: stat.as_dict() for path, stat in sorted(self._stats.items())}
+
+    def merge(self, other: "StopwatchRegistry") -> None:
+        """Fold another registry's aggregates into this one."""
+        for path, stat in other.stats().items():
+            mine = self._stats.get(path)
+            if mine is None:
+                mine = self._stats[path] = TimerStat()
+            mine.count += stat.count
+            mine.total += stat.total
+            mine.min = min(mine.min, stat.min)
+            mine.max = max(mine.max, stat.max)
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._stack.clear()

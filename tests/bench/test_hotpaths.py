@@ -1,0 +1,110 @@
+"""Tests for the hot-path benchmark plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    HOTPATH_CONFIG,
+    bench_evaluator,
+    bench_sampler,
+    compare_to_baseline,
+    format_hotpath_table,
+    load_hotpath_results,
+    run_hotpath_suite,
+    save_hotpath_results,
+)
+from repro.data import generate, split_dataset
+
+
+@pytest.fixture(scope="module")
+def suite_payload():
+    # A heavily scaled-down run: exercises the full pipeline quickly.
+    return run_hotpath_suite(scale=0.05, repeats=1)
+
+
+class TestSuite:
+    def test_payload_shape(self, suite_payload):
+        assert set(suite_payload) == {"settings", "results"}
+        assert set(suite_payload["results"]) == {
+            "evaluator", "sampler/user-item", "sampler/item-tag",
+        }
+        assert suite_payload["settings"]["dataset"] == HOTPATH_CONFIG.name
+
+    def test_paths_agree(self, suite_payload):
+        results = suite_payload["results"]
+        assert results["evaluator"]["max_abs_diff"] <= 1e-9
+        assert results["sampler/user-item"]["max_abs_diff"] == 0.0
+        assert results["sampler/item-tag"]["max_abs_diff"] == 0.0
+
+    def test_throughputs_positive(self, suite_payload):
+        for result in suite_payload["results"].values():
+            assert result["fast_throughput"] > 0
+            assert result["reference_throughput"] > 0
+
+    def test_preset_dataset_accepted(self):
+        payload = run_hotpath_suite("hetrec-del", scale=0.02, repeats=1)
+        assert payload["settings"]["dataset"] == "hetrec-del"
+
+    def test_sampler_kind_validated(self):
+        split = split_dataset(generate(HOTPATH_CONFIG.scaled(0.05), seed=1), seed=2)
+        with pytest.raises(ValueError, match="kind"):
+            bench_sampler(split.train, kind="bogus")
+
+    def test_bench_evaluator_counts_users(self):
+        split = split_dataset(generate(HOTPATH_CONFIG.scaled(0.05), seed=1), seed=2)
+        result = bench_evaluator(split, repeats=1)
+        assert result.units > 0
+        assert result.name == "evaluator"
+
+
+class TestPersistence:
+    def test_round_trip(self, suite_payload, tmp_path):
+        path = tmp_path / "BENCH_hotpaths.json"
+        save_hotpath_results(suite_payload, str(path))
+        assert load_hotpath_results(str(path)) == suite_payload
+
+    def test_creates_parent_directories(self, suite_payload, tmp_path):
+        path = tmp_path / "nested" / "deep" / "out.json"
+        save_hotpath_results(suite_payload, str(path))
+        assert path.exists()
+
+
+class TestBaselineGate:
+    def test_no_regression_passes(self, suite_payload):
+        assert compare_to_baseline(suite_payload, suite_payload) == []
+
+    def test_regression_detected(self, suite_payload):
+        import copy
+
+        inflated = copy.deepcopy(suite_payload)
+        for result in inflated["results"].values():
+            result["fast_throughput"] *= 100.0
+        failures = compare_to_baseline(suite_payload, inflated, max_regression=2.0)
+        assert len(failures) == 3
+        assert all("below" in f for f in failures)
+
+    def test_missing_benchmark_detected(self, suite_payload):
+        import copy
+
+        current = copy.deepcopy(suite_payload)
+        del current["results"]["evaluator"]
+        failures = compare_to_baseline(current, suite_payload)
+        assert any("missing" in f for f in failures)
+
+    def test_tolerance_loosens_gate(self, suite_payload):
+        import copy
+
+        slower = copy.deepcopy(suite_payload)
+        for result in slower["results"].values():
+            result["fast_throughput"] /= 3.0
+        assert compare_to_baseline(slower, suite_payload, max_regression=2.0)
+        assert compare_to_baseline(slower, suite_payload, max_regression=4.0) == []
+
+
+class TestTable:
+    def test_format_contains_all_rows(self, suite_payload):
+        table = format_hotpath_table(suite_payload)
+        for name in suite_payload["results"]:
+            assert name in table
+        assert "speedup" in table

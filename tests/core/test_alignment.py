@@ -114,6 +114,97 @@ class TestAggregateTags:
         )
 
 
+class TestAggregatorEquivalence:
+    """Vectorized aggregators vs the per-item reference loops.
+
+    With the subsample cap above every item's user count the reference
+    path draws nothing from the RNG, so the two implementations must
+    agree to float tolerance on arbitrary batches.
+    """
+
+    def test_user_aggregator_matches_reference(self, rng):
+        from repro.core import UserAggregator
+        from repro.core.alignment import _reference_aggregate_users
+
+        tiny = tiny_dataset()
+        users_of_item = tiny.users_of_item()
+        emb = Tensor(rng.normal(size=(4, 6)))
+        agg = UserAggregator(users_of_item, 100, np.random.default_rng(0))
+        for batch in ([0, 1, 2], [5], [3, 3, 0], list(range(6))):
+            batch = np.array(batch)
+            fast = agg(batch, emb)
+            ref = _reference_aggregate_users(
+                batch, users_of_item, emb, np.random.default_rng(0), 100
+            )
+            np.testing.assert_allclose(fast.data, ref.data, atol=1e-12)
+
+    def test_user_aggregator_matches_reference_random(self, rng):
+        from repro.core import UserAggregator
+        from repro.core.alignment import _reference_aggregate_users
+
+        for seed in range(3):
+            r = np.random.default_rng(seed)
+            num_users, num_items = 20, 12
+            users_of_item = [
+                np.sort(r.choice(num_users, size=r.integers(0, 9), replace=False))
+                for _ in range(num_items)
+            ]
+            emb = Tensor(r.normal(size=(num_users, 5)))
+            agg = UserAggregator(users_of_item, 50, np.random.default_rng(1))
+            batch = r.integers(0, num_items, size=8)
+            fast = agg(batch, emb)
+            ref = _reference_aggregate_users(
+                batch, users_of_item, emb, np.random.default_rng(1), 50
+            )
+            np.testing.assert_allclose(fast.data, ref.data, atol=1e-12)
+
+    def test_user_aggregator_gradients_match_reference(self, rng):
+        from repro.core import UserAggregator
+        from repro.core.alignment import _reference_aggregate_users
+
+        tiny = tiny_dataset()
+        batch = np.array([0, 1, 5])
+        fast_emb = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        ref_emb = Tensor(fast_emb.data.copy(), requires_grad=True)
+        agg = UserAggregator(tiny.users_of_item(), 100, np.random.default_rng(0))
+        (agg(batch, fast_emb) ** 2).sum().backward()
+        (
+            _reference_aggregate_users(
+                batch, tiny.users_of_item(), ref_emb, np.random.default_rng(0), 100
+            )
+            ** 2
+        ).sum().backward()
+        np.testing.assert_allclose(fast_emb.grad, ref_emb.grad, atol=1e-12)
+
+    def test_tag_aggregator_matches_reference(self, rng):
+        from repro.core import TagAggregator
+        from repro.core.alignment import (
+            _reference_aggregate_tags_per_cluster,
+        )
+
+        tiny = tiny_dataset()
+        clusters = np.array([0, 1, 0, 1, 0])
+        emb = Tensor(rng.normal(size=(5, 6)))
+        agg = TagAggregator(tiny.tags_of_item(), 2)
+        for batch in ([0, 1], [5], [4, 4, 2], list(range(6))):
+            batch = np.array(batch)
+            fast, fast_counts = agg(batch, emb, clusters)
+            ref, ref_counts = _reference_aggregate_tags_per_cluster(
+                batch, tiny.tags_of_item(), emb, clusters, 2
+            )
+            np.testing.assert_array_equal(fast_counts, ref_counts)
+            np.testing.assert_allclose(fast.data, ref.data, atol=1e-12)
+
+    def test_public_aliases_point_at_references(self):
+        from repro.core import alignment
+
+        assert aggregate_users is alignment._reference_aggregate_users
+        assert (
+            aggregate_tags_per_cluster
+            is alignment._reference_aggregate_tags_per_cluster
+        )
+
+
 class TestRelatednessWeights:
     def test_softmax_of_counts(self):
         counts = np.array([[1, 2, 0]])

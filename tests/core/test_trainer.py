@@ -88,3 +88,44 @@ class TestOutcome:
             return model.backbone.user_embedding.weight.data.copy()
 
         np.testing.assert_allclose(run(), run())
+
+
+class TestPerfInstrumentation:
+    def test_result_carries_phase_breakdown(self, small_dataset, small_split):
+        _, trainer = make_trainer(small_dataset, small_split, epochs=4)
+        result = trainer.fit()
+        assert result.perf is not None
+        for phase in ("sampling", "forward", "backward", "eval"):
+            assert result.perf.timers[phase]["count"] > 0
+        # Evaluator phases nest under the trainer's eval scope.
+        assert result.perf.timers["eval/score"]["count"] > 0
+        assert result.perf.counters["steps"] > 0
+        assert result.perf.counters["triplets"] >= result.perf.counters["steps"]
+        assert result.perf.counters["evals"] == 2  # eval_every=2, epochs=4
+
+    def test_external_registry_receives_timings(self, small_dataset, small_split):
+        from repro.perf import StopwatchRegistry
+
+        perf = StopwatchRegistry()
+        rng = np.random.default_rng(0)
+        backbone = BPRMF(small_dataset.num_users, small_dataset.num_items, 16, rng)
+        model = IMCAT(
+            backbone, small_dataset, small_split.train,
+            IMCATConfig(num_intents=4, pretrain_epochs=1, align_batch_size=32),
+            rng=rng,
+        )
+        trainer = IMCATTrainer(
+            model, small_split,
+            IMCATTrainConfig(epochs=2, batch_size=128, eval_every=2),
+            perf=perf,
+        )
+        trainer.fit()
+        assert perf.count("forward") > 0
+        assert perf.count("cluster-refresh") > 0
+
+    def test_perf_report_formats(self, small_dataset, small_split):
+        _, trainer = make_trainer(small_dataset, small_split, epochs=2)
+        result = trainer.fit()
+        text = result.perf.format(title="imcat run")
+        assert text.startswith("imcat run")
+        assert "forward" in text

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import BPRSampler, ItemTagSampler, sample_item_batches
+from repro.data import (
+    BPRSampler,
+    IndexCycler,
+    ItemTagSampler,
+    TripletCycler,
+    sample_item_batches,
+)
 
 from ..helpers import tiny_dataset
 
@@ -63,6 +69,128 @@ class TestItemTagSampler:
     def test_invalid_batch_size(self, tiny):
         with pytest.raises(ValueError):
             next(ItemTagSampler(tiny).epoch(batch_size=-1))
+
+
+class TestFastMatchesReference:
+    """The searchsorted rejection path vs the original set-based loop.
+
+    Both consume the RNG identically, so two same-seed samplers must
+    emit bit-identical negatives — not just equally distributed ones.
+    """
+
+    @pytest.mark.parametrize("factory", [BPRSampler, ItemTagSampler])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bit_identical_negatives(self, tiny, factory, seed):
+        fast = factory(tiny, seed=seed)
+        ref = factory(tiny, seed=seed)
+        anchors = fast.anchors
+        np.testing.assert_array_equal(
+            fast.sample_negatives(anchors),
+            ref.sample_negatives_reference(anchors),
+        )
+
+    def test_bit_identical_across_repeated_calls(self, tiny):
+        # The RNG streams stay in lockstep call after call.
+        fast = BPRSampler(tiny, seed=3)
+        ref = BPRSampler(tiny, seed=3)
+        for _ in range(5):
+            anchors = tiny.user_ids[:4]
+            np.testing.assert_array_equal(
+                fast.sample_negatives(anchors),
+                ref.sample_negatives_reference(anchors),
+            )
+
+    def test_reference_never_emits_positives(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        positives = [set(items.tolist()) for items in tiny.items_of_user()]
+        negatives = sampler.sample_negatives_reference(tiny.user_ids)
+        for user, neg in zip(tiny.user_ids, negatives):
+            assert neg not in positives[user]
+
+    def test_negatives_cover_all_non_positives(self, tiny):
+        # Distribution marginal: over many draws, every admissible item
+        # appears and no inadmissible one does (uniform-with-rejection).
+        sampler = BPRSampler(tiny, seed=1)
+        user = np.zeros(4000, dtype=np.int64)  # user 0: positives {0, 1, 2}
+        drawn = sampler.sample_negatives(user)
+        assert set(drawn.tolist()) == {3, 4, 5}
+        # Roughly uniform over the 3 admissible items.
+        counts = np.bincount(drawn, minlength=6)[3:]
+        assert counts.min() > 0.8 * len(user) / 3
+
+    def test_anchors_property_in_dataset_order(self, tiny):
+        np.testing.assert_array_equal(BPRSampler(tiny).anchors, tiny.user_ids)
+        np.testing.assert_array_equal(
+            ItemTagSampler(tiny).anchors, tiny.tag_item_ids
+        )
+
+
+class TestTripletCycler:
+    def test_wrap_covers_every_positive_per_cycle(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        cycler = TripletCycler(sampler, batch_size=3, rng=np.random.default_rng(1))
+        n = sampler.num_positives
+        for _ in range(3):  # three full passes
+            seen = []
+            drawn = 0
+            while drawn < n:
+                batch = next(cycler)
+                seen.extend(zip(batch.anchors, batch.positives))
+                drawn += len(batch)
+            assert sorted(seen) == sorted(zip(tiny.user_ids, tiny.item_ids))
+
+    def test_reshuffles_between_cycles(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        cycler = TripletCycler(sampler, batch_size=10, rng=np.random.default_rng(2))
+        first = next(cycler).anchors.copy()
+        second = next(cycler).anchors.copy()
+        assert not np.array_equal(first, second)
+
+    def test_shuffle_false_keeps_dataset_order(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        cycler = TripletCycler(
+            sampler, batch_size=10, rng=np.random.default_rng(0), shuffle=False
+        )
+        np.testing.assert_array_equal(next(cycler).anchors, tiny.user_ids)
+
+    def test_negatives_always_valid(self, tiny):
+        sampler = BPRSampler(tiny, seed=0)
+        cycler = TripletCycler(sampler, batch_size=4, rng=np.random.default_rng(3))
+        positives = [set(items.tolist()) for items in tiny.items_of_user()]
+        for _ in range(10):
+            batch = next(cycler)
+            for user, neg in zip(batch.anchors, batch.negatives):
+                assert neg not in positives[user]
+
+    def test_invalid_batch_size(self, tiny):
+        with pytest.raises(ValueError):
+            TripletCycler(BPRSampler(tiny), 0, np.random.default_rng(0))
+
+    def test_is_iterable(self, tiny):
+        cycler = TripletCycler(BPRSampler(tiny), 4, np.random.default_rng(0))
+        assert iter(cycler) is cycler
+
+
+class TestIndexCycler:
+    def test_covers_range_each_cycle(self):
+        cycler = IndexCycler(10, 4, np.random.default_rng(0))
+        for _ in range(3):
+            seen = []
+            while len(seen) < 10:
+                seen.extend(next(cycler).tolist())
+            assert sorted(seen) == list(range(10))
+
+    def test_matches_sample_item_batches_semantics(self):
+        # Same RNG: the first cycle equals one sample_item_batches pass.
+        cycler = IndexCycler(10, 3, np.random.default_rng(7))
+        from_cycler = [next(cycler) for _ in range(4)]
+        from_func = list(sample_item_batches(10, 3, np.random.default_rng(7)))
+        for a, b in zip(from_cycler, from_func):
+            np.testing.assert_array_equal(a, b)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            IndexCycler(10, -1, np.random.default_rng(0))
 
 
 class TestItemBatches:

@@ -110,6 +110,125 @@ class TestEvaluator:
         assert "recall@20=" in result.summary()
 
 
+class RandomModel:
+    """Continuous random scores — no ties, exercises arbitrary rankings."""
+
+    def __init__(self, num_items: int, seed: int):
+        self._num_items = num_items
+        self._rng = np.random.default_rng(seed)
+        self._scores = None
+
+    def all_scores(self, users):
+        if self._scores is None:
+            # One fixed table so repeated evaluations see the same scores.
+            self._scores = self._rng.normal(size=(1000, self._num_items))
+        return self._scores[users]
+
+
+def random_pair(seed, num_users=30, num_items=40):
+    """A random train/test interaction pair with edge cases baked in."""
+    rng = np.random.default_rng(seed)
+    users, items = [], []
+    for u in range(num_users):
+        degree = int(rng.integers(0, 8))
+        for i in rng.choice(num_items, size=degree, replace=False):
+            users.append(u)
+            items.append(int(i))
+    train = TagRecDataset(
+        num_users=num_users, num_items=num_items, num_tags=1,
+        user_ids=np.array(users, dtype=np.int64),
+        item_ids=np.array(items, dtype=np.int64),
+        tag_item_ids=np.array([0]), tag_ids=np.array([0]),
+    )
+    t_users, t_items = [], []
+    for u in range(num_users):
+        if rng.random() < 0.2:
+            continue  # some users have no test items at all
+        degree = int(rng.integers(1, 5))
+        for i in rng.choice(num_items, size=degree, replace=False):
+            t_users.append(u)
+            t_items.append(int(i))
+    test = train.with_interactions(
+        np.array(t_users, dtype=np.int64), np.array(t_items, dtype=np.int64)
+    )
+    return train, test
+
+
+class TestFastMatchesReference:
+    """The vectorized path must reproduce the per-user loop exactly."""
+
+    ALL_METRICS = ("recall", "ndcg", "precision", "hit_rate", "map")
+
+    def assert_equivalent(self, evaluator, model, chunk_size=256):
+        fast = evaluator.evaluate(model, chunk_size=chunk_size)
+        ref = evaluator.evaluate_reference(model, chunk_size=chunk_size)
+        assert set(fast.per_user) == set(ref.per_user)
+        np.testing.assert_array_equal(fast.user_ids, ref.user_ids)
+        for key in ref.per_user:
+            np.testing.assert_allclose(
+                fast.per_user[key], ref.per_user[key], atol=1e-9,
+                err_msg=f"per-user {key} diverges",
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_models_all_metrics(self, seed):
+        train, test = random_pair(seed)
+        evaluator = Evaluator(
+            train, test, top_n=(1, 5, 20), metrics=self.ALL_METRICS
+        )
+        self.assert_equivalent(evaluator, RandomModel(40, seed + 100))
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 1000])
+    def test_every_chunk_size(self, chunk_size):
+        train, test = random_pair(7)
+        evaluator = Evaluator(train, test, top_n=(10,), metrics=self.ALL_METRICS)
+        self.assert_equivalent(
+            evaluator, RandomModel(40, 1), chunk_size=chunk_size
+        )
+
+    def test_cutoff_beyond_item_count(self):
+        # max_n > |V| exercises the k-clipping in both paths.
+        train, test = random_pair(3, num_items=15)
+        evaluator = Evaluator(train, test, top_n=(50,), metrics=("recall", "ndcg"))
+        self.assert_equivalent(evaluator, RandomModel(15, 2))
+
+    def test_heavy_train_mask(self):
+        # Users whose training set leaves fewer than max_n candidates.
+        train, test = make_pair()
+        evaluator = Evaluator(train, test, top_n=(8,), metrics=self.ALL_METRICS)
+        self.assert_equivalent(evaluator, RandomModel(8, 3))
+
+    def test_tied_scores_rank_identically(self):
+        # ConstantModel produces distinct scores; an all-equal scorer is
+        # the worst tie case — both paths must break ties the same way.
+        train, test = random_pair(11)
+
+        class Ties:
+            def all_scores(self, users):
+                return np.zeros((len(users), 40))
+
+        evaluator = Evaluator(train, test, top_n=(5, 20), metrics=self.ALL_METRICS)
+        self.assert_equivalent(evaluator, Ties())
+
+    def test_fast_does_not_mutate_model_scores(self):
+        train, test = make_pair()
+        model = RandomModel(8, 5)
+        model.all_scores(np.arange(3))  # materialise the cached table
+        before = model._scores.copy()
+        Evaluator(train, test, top_n=(5,)).evaluate(model)
+        np.testing.assert_array_equal(model._scores, before)
+
+    def test_perf_registry_records_phases(self):
+        from repro.perf import StopwatchRegistry
+
+        train, test = make_pair()
+        perf = StopwatchRegistry()
+        Evaluator(train, test).evaluate(PerfectModel(test, 8), perf=perf)
+        assert perf.count("score") > 0
+        assert perf.count("rank") > 0
+        assert perf.count("metrics") > 0
+
+
 class TestAllMetrics:
     def test_five_metrics_computed(self):
         train, test = make_pair()

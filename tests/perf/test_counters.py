@@ -1,0 +1,44 @@
+"""Tests for the event counter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import CounterRegistry
+
+
+class TestCounterRegistry:
+    def test_add_creates_and_increments(self):
+        counters = CounterRegistry()
+        counters.add("steps")
+        counters.add("steps", 4)
+        assert counters.get("steps") == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert CounterRegistry().get("nope") == 0
+
+    def test_rate(self):
+        counters = CounterRegistry()
+        counters.add("users", 100)
+        assert counters.rate("users", 4.0) == pytest.approx(25.0)
+        assert counters.rate("users", 0.0) == 0.0
+
+    def test_as_dict_sorted(self):
+        counters = CounterRegistry()
+        counters.add("b", 2)
+        counters.add("a", 1)
+        assert list(counters.as_dict()) == ["a", "b"]
+
+    def test_merge_adds(self):
+        a, b = CounterRegistry(), CounterRegistry()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.counts() == {"x": 3, "y": 3}
+
+    def test_reset(self):
+        counters = CounterRegistry()
+        counters.add("x")
+        counters.reset()
+        assert counters.counts() == {}

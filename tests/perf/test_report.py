@@ -1,0 +1,72 @@
+"""Tests for the perf report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    CounterRegistry,
+    PerfReport,
+    StopwatchRegistry,
+    format_report,
+)
+
+
+def make_registries():
+    perf = StopwatchRegistry()
+    perf.record("train", 8.0)
+    perf.record("train/forward", 5.0)
+    perf.record("train/backward", 2.0)
+    perf.record("eval", 2.0)
+    counters = CounterRegistry()
+    counters.add("steps", 40)
+    return perf, counters
+
+
+class TestPerfReport:
+    def test_from_registries_snapshots(self):
+        perf, counters = make_registries()
+        report = PerfReport.from_registries(perf, counters)
+        assert report.timers["train"]["total"] == pytest.approx(8.0)
+        assert report.counters == {"steps": 40}
+
+    def test_total_seconds_counts_top_level_only(self):
+        report = PerfReport.from_registries(*make_registries())
+        # train (8) + eval (2); the nested scopes are already inside train.
+        assert report.total_seconds() == pytest.approx(10.0)
+
+    def test_to_json_round_trips(self):
+        report = PerfReport.from_registries(*make_registries())
+        payload = json.loads(report.to_json())
+        assert payload["timers"]["eval"]["count"] == 1
+        assert payload["counters"]["steps"] == 40
+
+    def test_format_sorted_by_total_with_shares(self):
+        report = PerfReport.from_registries(*make_registries())
+        text = report.format(title="run breakdown")
+        lines = text.splitlines()
+        assert lines[0] == "run breakdown"
+        # Largest scope first; share of the 10s grand total.
+        assert lines[4].lstrip().startswith("train")
+        assert "80.0%" in lines[4]
+        assert "steps" in text
+
+    def test_format_indents_nested_scopes(self):
+        report = PerfReport.from_registries(*make_registries())
+        text = report.format()
+        forward_line = next(
+            line for line in text.splitlines() if "forward" in line
+        )
+        assert forward_line.startswith("  forward")
+
+    def test_empty_report_formats(self):
+        text = PerfReport().format()
+        assert "phase" in text  # header renders without divide-by-zero
+
+    def test_format_report_convenience(self):
+        perf, counters = make_registries()
+        assert format_report(perf, counters) == PerfReport.from_registries(
+            perf, counters
+        ).format()

@@ -1,0 +1,117 @@
+"""Tests for the nested wall-clock timer registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import StopwatchRegistry, TimerStat
+
+
+class TestTimerStat:
+    def test_record_aggregates(self):
+        stat = TimerStat()
+        stat.record(1.0)
+        stat.record(3.0)
+        assert stat.count == 2
+        assert stat.total == pytest.approx(4.0)
+        assert stat.min == pytest.approx(1.0)
+        assert stat.max == pytest.approx(3.0)
+        assert stat.mean == pytest.approx(2.0)
+
+    def test_empty_stat(self):
+        stat = TimerStat()
+        assert stat.mean == 0.0
+        assert stat.as_dict()["min"] == 0.0  # inf sentinel never leaks
+
+    def test_as_dict_keys(self):
+        stat = TimerStat()
+        stat.record(0.5)
+        assert set(stat.as_dict()) == {"count", "total", "mean", "min", "max"}
+
+
+class TestStopwatchRegistry:
+    def test_scopes_nest_into_slash_paths(self):
+        perf = StopwatchRegistry()
+        with perf.timed("epoch"):
+            with perf.timed("forward"):
+                pass
+            with perf.timed("eval"):
+                with perf.timed("score"):
+                    pass
+        assert set(perf.stats()) == {
+            "epoch", "epoch/forward", "epoch/eval", "epoch/eval/score",
+        }
+
+    def test_sibling_scopes_do_not_prefix_each_other(self):
+        perf = StopwatchRegistry()
+        with perf.timed("a"):
+            pass
+        with perf.timed("b"):
+            pass
+        assert set(perf.stats()) == {"a", "b"}
+
+    def test_repeated_entries_aggregate(self):
+        perf = StopwatchRegistry()
+        for _ in range(5):
+            with perf.timed("step"):
+                pass
+        assert perf.count("step") == 5
+        assert perf.total("step") >= 0.0
+
+    def test_unknown_path_reads_zero(self):
+        perf = StopwatchRegistry()
+        assert perf.total("nope") == 0.0
+        assert perf.count("nope") == 0
+
+    def test_parent_covers_children(self):
+        perf = StopwatchRegistry()
+        with perf.timed("outer"):
+            with perf.timed("inner"):
+                pass
+        assert perf.total("outer") >= perf.total("outer/inner")
+
+    def test_exclusive_total_subtracts_direct_children_only(self):
+        perf = StopwatchRegistry()
+        perf.record("run", 10.0)
+        perf.record("run/eval", 4.0)
+        perf.record("run/eval/score", 3.0)  # grandchild: inside run/eval
+        assert perf.exclusive_total("run") == pytest.approx(6.0)
+        assert perf.exclusive_total("run/eval") == pytest.approx(1.0)
+
+    def test_exception_still_recorded_and_stack_unwound(self):
+        perf = StopwatchRegistry()
+        with pytest.raises(RuntimeError):
+            with perf.timed("boom"):
+                raise RuntimeError("x")
+        assert perf.count("boom") == 1
+        # The stack unwound: a new scope is top-level, not under "boom".
+        with perf.timed("after"):
+            pass
+        assert "after" in perf.stats()
+
+    def test_merge_combines_aggregates(self):
+        a, b = StopwatchRegistry(), StopwatchRegistry()
+        a.record("x", 1.0)
+        b.record("x", 3.0)
+        b.record("y", 2.0)
+        a.merge(b)
+        assert a.count("x") == 2
+        assert a.total("x") == pytest.approx(4.0)
+        assert a.stats()["x"].min == pytest.approx(1.0)
+        assert a.stats()["x"].max == pytest.approx(3.0)
+        assert a.total("y") == pytest.approx(2.0)
+
+    def test_reset_clears_everything(self):
+        perf = StopwatchRegistry()
+        with perf.timed("x"):
+            pass
+        perf.reset()
+        assert perf.stats() == {}
+
+    def test_as_dict_sorted_and_json_safe(self):
+        perf = StopwatchRegistry()
+        perf.record("b", 1.0)
+        perf.record("a", 2.0)
+        payload = perf.as_dict()
+        assert list(payload) == ["a", "b"]
+        assert payload["a"]["total"] == pytest.approx(2.0)

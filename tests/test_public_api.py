@@ -10,7 +10,7 @@ import pytest
 import repro
 
 SUBPACKAGES = ["repro.nn", "repro.data", "repro.models", "repro.core",
-               "repro.eval", "repro.bench"]
+               "repro.eval", "repro.bench", "repro.perf"]
 
 
 class TestExports:
@@ -71,7 +71,8 @@ class TestModuleDocstrings:
             "repro.eval.metrics", "repro.eval.evaluator",
             "repro.eval.groups", "repro.eval.significance",
             "repro.bench.harness", "repro.bench.registry",
-            "repro.bench.tables", "repro.io",
+            "repro.bench.tables", "repro.bench.hotpaths", "repro.io",
+            "repro.perf.timers", "repro.perf.counters", "repro.perf.report",
         ],
     )
     def test_every_module_has_docstring(self, module_name):
