@@ -1,4 +1,5 @@
 # Development targets.  Tiers:
+#   lint        tier-0: project static analysis (rules LNT001-LNT005)
 #   test        tier-1: the unit/integration suite under tests/
 #   bench-smoke tier-2: hot-path perf smoke gated on benchmarks/BENCH_hotpaths.json
 #   bench       the full pytest benchmark suite (paper tables/figures)
@@ -6,9 +7,12 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-hotpaths baseline
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline
 
-test:
+lint:
+	$(PYTHON) -m repro.lint src tests benchmarks examples
+
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:

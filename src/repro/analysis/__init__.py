@@ -1,0 +1,32 @@
+"""Project-specific static analysis (`python -m repro.lint`).
+
+The IMCAT reproduction relies on invariants the Python runtime never
+checks: stochastic code must draw from an explicitly threaded
+``np.random.Generator`` (the significance tests of Section V fix
+seeds), hot-path modules must stay vectorised, and evaluation must run
+under :class:`repro.nn.no_grad` so the tape stays empty.  This package
+implements an AST-based linter enforcing those invariants as rules
+``LNT001``–``LNT005`` (see :mod:`repro.analysis.rules`), with per-line
+and per-file suppression directives, human and JSON reporting, and a
+CLI (:mod:`repro.analysis.cli`) that exits non-zero on findings.
+
+The runtime half of the correctness tooling — the autograd numeric
+sanitizer and :func:`repro.nn.gradcheck` — lives in :mod:`repro.nn`.
+"""
+
+from .directives import Directives
+from .engine import Finding, LintReport, Linter
+from .rules import RULE_REGISTRY, Rule, iter_rules
+from .reporting import render_human, render_json
+
+__all__ = [
+    "Directives",
+    "Finding",
+    "LintReport",
+    "Linter",
+    "RULE_REGISTRY",
+    "Rule",
+    "iter_rules",
+    "render_human",
+    "render_json",
+]

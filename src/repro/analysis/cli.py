@@ -1,0 +1,106 @@
+"""Command-line interface of the project linter.
+
+Run as ``python -m repro.lint [paths ...]``.  Exit status: 0 when
+clean, 1 when findings were reported, 2 on usage errors (unknown rule
+codes, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import (
+    DEFAULT_ENTRY_PATHS,
+    DEFAULT_HOT_PATHS,
+    Linter,
+)
+from .reporting import render_human, render_json
+from .rules import iter_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.lint`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="IMCAT project linter (rules LNT001-LNT005)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--hot-path",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="extra path fragment treated as a hot-path module (LNT002)",
+    )
+    parser.add_argument(
+        "--entry-path",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="extra path fragment treated as an entry-point module (LNT003)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _codes(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        linter = Linter(
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            hot_paths=tuple(DEFAULT_HOT_PATHS) + tuple(args.hot_path),
+            entry_paths=tuple(DEFAULT_ENTRY_PATHS) + tuple(args.entry_path),
+        )
+        report = linter.lint_paths(args.paths)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    rendered = render_json(report) if args.format == "json" else render_human(report)
+    print(rendered)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.lint
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Suppression directives parsed from ``# lint:`` comments.
+
+Three forms are recognised, all tokenizer-based so directives inside
+string literals are ignored:
+
+- ``# lint: disable=LNT001,LNT005`` — suppress the named codes for
+  findings reported on the directive's line (put it on the offending
+  line or the ``def``/``for`` line the finding anchors to);
+- ``# lint: file-disable=LNT002`` — suppress the named codes for the
+  whole file;
+- ``# lint: reference-path`` — mark a deliberately scalar Python loop
+  (or its enclosing function) as a sanctioned reference implementation,
+  consumed by rule LNT002.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable|file-disable|reference-path)"
+    r"(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+
+@dataclass
+class Directives:
+    """Suppression state of one source file."""
+
+    file_disabled: Set[str] = field(default_factory=set)
+    line_disabled: Dict[int, Set[str]] = field(default_factory=dict)
+    reference_lines: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, source: str) -> "Directives":
+        """Extract all ``# lint:`` directives from ``source``.
+
+        Tokenisation errors (the caller reports syntax errors
+        separately) yield an empty directive set.
+        """
+        directives = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return directives
+        for line, comment in comments:
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            kind = match.group("kind")
+            if kind == "reference-path":
+                directives.reference_lines.add(line)
+                continue
+            codes = {
+                code.strip()
+                for code in (match.group("codes") or "").split(",")
+                if code.strip()
+            }
+            if not codes:
+                continue
+            if kind == "file-disable":
+                directives.file_disabled |= codes
+            else:
+                directives.line_disabled.setdefault(line, set()).update(codes)
+        return directives
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a finding of ``code`` at ``line`` is suppressed."""
+        if code in self.file_disabled:
+            return True
+        return code in self.line_disabled.get(line, set())
+
+    def is_reference(self, line: int) -> bool:
+        """Whether ``line`` carries a ``reference-path`` marker."""
+        return line in self.reference_lines

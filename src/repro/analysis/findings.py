@@ -1,0 +1,74 @@
+"""Finding record and per-file lint context shared by rules and engine."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .directives import Directives
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message`` (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form for ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule needs to check one file.
+
+    Attributes:
+        path: display path of the file (posix separators).
+        source: raw source text.
+        tree: parsed module AST.
+        directives: suppression directives of the file.
+        hot_paths: path suffixes registered as vectorised hot paths
+            (consumed by LNT002).
+        entry_paths: path fragments registered as evaluation/scoring
+            entry-point modules (consumed by LNT003).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    directives: Directives
+    hot_paths: Tuple[str, ...]
+    entry_paths: Tuple[str, ...]
+
+    def matches(self, fragments: Sequence[str]) -> bool:
+        """Whether ``path`` matches any registered fragment.
+
+        A fragment containing ``/`` must be a path suffix (or contained
+        with its directory structure intact); a bare filename matches as
+        a suffix of the final component, so fixture files can opt in via
+        ``--hot-path trigger_lnt002.py``.
+        """
+        for fragment in fragments:
+            if self.path == fragment or self.path.endswith("/" + fragment):
+                return True
+            if "/" in fragment and fragment in self.path:
+                return True
+            if "/" not in fragment and self.path.rsplit("/", 1)[-1] == fragment:
+                return True
+        return False

@@ -1,0 +1,36 @@
+"""Rendering of lint reports: human-readable lines and JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+
+def render_human(report: LintReport) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [finding.format() for finding in report.findings]
+    files_with = len({finding.path for finding in report.findings})
+    if report.findings:
+        lines.append(
+            f"{len(report.findings)} finding"
+            f"{'s' if len(report.findings) != 1 else ''} in {files_with} "
+            f"file{'s' if files_with != 1 else ''} "
+            f"({report.files_checked} checked)"
+        )
+    else:
+        lines.append(f"clean: {report.files_checked} files checked")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document for tooling (CI annotations, dashboards)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files_checked": report.files_checked,
+            "findings": [finding.to_dict() for finding in report.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,381 @@
+"""The project rule set (LNT001–LNT005) and the rule registry.
+
+Each rule is a class with ``code``/``name``/``description`` metadata
+and a ``check(ctx)`` generator yielding :class:`Finding`.  Rules are
+registered with :func:`register`, so downstream forks can add rules (or
+tests can instantiate a restricted set) without touching the engine.
+
+Suppression (see :mod:`repro.analysis.directives`): a finding is
+dropped when its code is disabled for the file or for the exact line it
+anchors to.  LNT002 additionally honours ``# lint: reference-path``
+markers on the loop line or the enclosing ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple, Type
+
+from .findings import Finding, LintContext
+
+RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Add a rule class to :data:`RULE_REGISTRY`, keyed by its code."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def iter_rules() -> List["Rule"]:
+    """Fresh instances of every registered rule, in code order."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+class Rule:
+    """Base class: metadata plus the per-file ``check`` hook."""
+
+    code: str = "LNT000"
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one file (unsuppressed; engine filters)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# LNT001 — no legacy global NumPy RNG
+# ----------------------------------------------------------------------
+@register
+class LegacyNumpyRandom(Rule):
+    """Forbid the legacy global NumPy RNG.
+
+    Reproducibility of the paper's significance tests (Section V)
+    requires every stochastic component to draw from an explicitly
+    threaded ``np.random.Generator``; the module-global state touched
+    by ``np.random.seed`` / ``rand`` / ``choice`` etc. leaks across
+    components and makes runs order-dependent.
+    """
+
+    code = "LNT001"
+    name = "legacy-numpy-rng"
+    description = (
+        "np.random.<legacy> uses the global RNG; thread an explicit "
+        "np.random.default_rng(seed) Generator instead"
+    )
+
+    LEGACY = frozenset(
+        {
+            "seed", "rand", "randn", "randint", "random", "random_sample",
+            "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+            "normal", "standard_normal", "binomial", "poisson", "beta",
+            "exponential", "get_state", "set_state", "RandomState",
+        }
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        numpy_aliases = {"numpy"}
+        random_aliases = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        random_aliases.add(alias.asname or "numpy.random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in self.LEGACY:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"import of legacy RNG 'numpy.random."
+                                f"{alias.name}'; {self.description}",
+                            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in self.LEGACY:
+                continue
+            owner = node.value
+            # np.random.<legacy> / numpy.random.<legacy>
+            if (
+                isinstance(owner, ast.Attribute)
+                and owner.attr == "random"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id in numpy_aliases
+            ) or (
+                isinstance(owner, ast.Name) and owner.id in random_aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global RNG call 'np.random.{node.attr}'; "
+                    f"{self.description}",
+                )
+
+
+# ----------------------------------------------------------------------
+# LNT002 — no per-entity Python loops in registered hot paths
+# ----------------------------------------------------------------------
+@register
+class HotPathPythonLoop(Rule):
+    """Forbid per-user/item/tag Python ``for`` loops in hot-path modules.
+
+    The vectorised fast paths (PR 1) are the scaling story of this
+    repo; a stray per-entity loop re-introduces O(|U|)/O(|V|) Python
+    overhead silently.  Deliberate scalar implementations stay allowed
+    when marked ``# lint: reference-path`` on the loop line or the
+    enclosing ``def`` line.
+    """
+
+    code = "LNT002"
+    name = "hot-path-python-loop"
+    description = (
+        "Python-level loop over users/items/tags in a registered hot-path "
+        "module; vectorise it or mark the reference implementation with "
+        "'# lint: reference-path'"
+    )
+
+    ENTITIES = frozenset(
+        {"user", "users", "item", "items", "tag", "tags", "anchor", "anchors"}
+    )
+    # Iterator wrappers whose arguments still iterate per element.
+    TRANSPARENT_CALLS = frozenset(
+        {"enumerate", "zip", "sorted", "reversed", "iter", "list", "tuple"}
+    )
+
+    def _names(self, node: ast.AST) -> Iterator[str]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+
+    def _is_entity(self, identifier: str) -> bool:
+        parts = identifier.lower().strip("_").split("_")
+        return any(part in self.ENTITIES for part in parts)
+
+    def _iter_exprs(self, iter_node: ast.expr) -> List[ast.expr]:
+        """The expressions actually iterated per element.
+
+        ``range(len(users))`` iterates positions, not users, so call
+        arguments are only unwrapped for transparent wrappers like
+        ``enumerate``/``zip``.
+        """
+        if isinstance(iter_node, ast.Call):
+            func = iter_node.func
+            name = func.id if isinstance(func, ast.Name) else None
+            if name in self.TRANSPARENT_CALLS:
+                out: List[ast.expr] = []
+                for arg in iter_node.args:
+                    out.extend(self._iter_exprs(arg))
+                return out
+            return []
+        return [iter_node]
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.matches(ctx.hot_paths):
+            return
+        # Map every For node to the def-lines of its enclosing functions
+        # so a function-level reference-path marker covers its loops.
+        def_stack: List[int] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                def_stack.append(node.lineno)
+            if isinstance(node, ast.For):
+                marked = ctx.directives.is_reference(node.lineno) or any(
+                    ctx.directives.is_reference(line) for line in def_stack
+                )
+                if not marked:
+                    names = set(self._names(node.target))
+                    for expr in self._iter_exprs(node.iter):
+                        names.update(self._names(expr))
+                    entity = sorted(n for n in names if self._is_entity(n))
+                    if entity:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"loop over {', '.join(entity)}: "
+                            f"{self.description}",
+                        )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                def_stack.pop()
+
+        yield from visit(ctx.tree)
+
+
+# ----------------------------------------------------------------------
+# LNT003 — evaluation/scoring entry points must run under no_grad
+# ----------------------------------------------------------------------
+@register
+class NoGradEntryPoint(Rule):
+    """Require ``no_grad`` in evaluation/scoring entry points.
+
+    ``all_scores``/``evaluate`` rank the full item vocabulary; building
+    the tape there wastes memory proportional to |U| x |V| per chunk.
+    A direct ``return <expr>.all_scores(...)`` delegation is accepted
+    (the delegate is checked in its own module).
+    """
+
+    code = "LNT003"
+    name = "no-grad-entry-point"
+    description = (
+        "evaluation/scoring entry point must wrap its work in "
+        "'with no_grad():' (or delegate to one that does)"
+    )
+
+    ENTRY_FUNCTIONS = frozenset(
+        {"all_scores", "evaluate", "evaluate_reference", "score_all"}
+    )
+
+    def _mentions_no_grad(self, node: ast.With) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            if isinstance(expr, ast.Name) and "no_grad" in expr.id:
+                return True
+            if isinstance(expr, ast.Attribute) and "no_grad" in expr.attr:
+                return True
+        return False
+
+    def _delegates(self, node: ast.FunctionDef) -> bool:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            value = sub.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in self.ENTRY_FUNCTIONS
+            ):
+                return True
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.matches(ctx.entry_paths):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in self.ENTRY_FUNCTIONS:
+                continue
+            has_no_grad = any(
+                isinstance(sub, ast.With) and self._mentions_no_grad(sub)
+                for sub in ast.walk(node)
+            )
+            if has_no_grad or self._delegates(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"'{node.name}' runs without no_grad: {self.description}",
+            )
+
+
+# ----------------------------------------------------------------------
+# LNT004 — no mutable default arguments
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultArgument(Rule):
+    """Forbid mutable default argument values."""
+
+    code = "LNT004"
+    name = "mutable-default-argument"
+    description = (
+        "mutable default is shared across calls; default to None and "
+        "create the container inside the function"
+    )
+
+    MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self.MUTABLE_CALLS
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in '{label}': {self.description}",
+                    )
+
+
+# ----------------------------------------------------------------------
+# LNT005 — no bare except / silent pass
+# ----------------------------------------------------------------------
+@register
+class SilentExcept(Rule):
+    """Forbid bare ``except:`` and handlers that silently ``pass``."""
+
+    code = "LNT005"
+    name = "silent-except"
+    description = (
+        "swallowed exceptions hide NaN collapses and data bugs; catch a "
+        "specific type and at least record why ignoring it is safe"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, f"bare 'except:': {self.description}"
+                )
+                continue
+            if all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is Ellipsis
+                )
+                for stmt in node.body
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"exception handler silently passes: {self.description}",
+                )

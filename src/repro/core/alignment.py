@@ -81,7 +81,9 @@ class UserAggregator:
         written once at construction), so a cluster-refresh resample no
         longer loops the full item vocabulary.
         """
-        for item in self._over:
+        # Ragged per-item populations keep this scalar; it only walks
+        # the (rare) over-capacity items.
+        for item in self._over:  # lint: reference-path
             self._padded[item] = rng.choice(
                 self._users_of_item[item], size=self.max_users, replace=False
             )
@@ -127,7 +129,7 @@ class UserAggregator:
         return F.scale_rows(sums, 1.0 / np.maximum(counts, 1))
 
 
-def _reference_aggregate_users(
+def _reference_aggregate_users(  # lint: reference-path
     item_batch: np.ndarray,
     users_of_item: Sequence[np.ndarray],
     user_embeddings: Tensor,
@@ -217,7 +219,7 @@ class TagAggregator:
         return aggregated, counts
 
 
-def _reference_aggregate_tags_per_cluster(
+def _reference_aggregate_tags_per_cluster(  # lint: reference-path
     item_batch: np.ndarray,
     tags_of_item: Sequence[np.ndarray],
     tag_embeddings: Tensor,

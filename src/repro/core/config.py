@@ -98,6 +98,20 @@ class IMCATConfig:
                 f"got {self.alignment_objective!r}"
             )
 
+    def validate_embedding_dim(self, embed_dim: int) -> int:
+        """Return ``d/K``, raising unless ``K`` divides ``d`` evenly.
+
+        The intent sub-embedding views (Eq. 3) and the IMCA projection
+        (Eq. 10) both require ``d % K == 0``; checking at config time
+        turns a subtle broadcast bug into an immediate error.
+        """
+        if embed_dim % self.num_intents != 0:
+            raise ValueError(
+                f"embedding size {embed_dim} is not divisible by "
+                f"num_intents {self.num_intents}"
+            )
+        return embed_dim // self.num_intents
+
     def ablated(self, **changes) -> "IMCATConfig":
         """Return a copy with the given fields changed (ablation helper)."""
         return replace(self, **changes)

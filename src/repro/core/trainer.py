@@ -25,7 +25,7 @@ import numpy as np
 from ..data.sampling import BPRSampler, IndexCycler, ItemTagSampler, TripletCycler
 from ..data.split import Split
 from ..eval.evaluator import Evaluator
-from ..nn import Adam
+from ..nn import Adam, detect_anomaly
 from ..perf import CounterRegistry, PerfReport, StopwatchRegistry
 from .config import IMCATConfig
 from .imcat import IMCAT
@@ -44,6 +44,10 @@ class IMCATTrainConfig:
     top_n: int = 20
     seed: int = 0
     verbose: bool = False
+    detect_anomaly: bool = False
+    """Run the whole fit under :class:`repro.nn.detect_anomaly`, so a
+    NaN/Inf raises at the creating op instead of surfacing as a NaN
+    loss epochs later.  Costs one finiteness scan per op output."""
 
 
 @dataclass
@@ -91,7 +95,17 @@ class IMCATTrainer:
         self.perf = perf
 
     def fit(self) -> IMCATTrainResult:
-        """Run the full schedule; restores the best validation state."""
+        """Run the full schedule; restores the best validation state.
+
+        With ``config.detect_anomaly`` the run is wrapped in the
+        autograd numeric sanitizer: any NaN/Inf produced on the tape
+        raises :class:`repro.nn.NumericAnomalyError` naming the
+        creating op and its parent shapes.
+        """
+        with detect_anomaly(self.config.detect_anomaly):
+            return self._fit()
+
+    def _fit(self) -> IMCATTrainResult:
         model = self.model
         config = self.config
         imcat_config: IMCATConfig = model.config

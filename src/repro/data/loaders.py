@@ -10,6 +10,7 @@ transparently falls back to the calibrated synthetic generators.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional, Tuple
 
 import numpy as np
@@ -194,8 +195,13 @@ def load_dataset(
         loader = _REAL_LOADERS[key]
         try:
             return loader(data_dir)
-        except FileNotFoundError:
-            pass
+        except FileNotFoundError as exc:
+            warnings.warn(
+                f"{key}: raw files not found under {data_dir!r} ({exc}); "
+                "falling back to the calibrated synthetic preset",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return generate_preset(key, scale=scale, seed=seed)
 
 

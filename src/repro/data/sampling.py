@@ -105,7 +105,7 @@ class _PairSampler:
             )
         return negatives
 
-    def sample_negatives_reference(
+    def sample_negatives_reference(  # lint: reference-path
         self, anchors: np.ndarray, rounds: int = 20
     ) -> np.ndarray:
         """The original per-pair set-membership rejection loop.

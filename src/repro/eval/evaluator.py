@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import TagRecDataset
+from ..nn import no_grad
 from ..perf import StopwatchRegistry
 from .metrics import METRIC_FUNCTIONS, rank_items
 
@@ -140,9 +141,13 @@ class Evaluator:
         for start in range(0, len(self.eval_users), chunk_size):
             users = self.eval_users[start : start + chunk_size]
             with perf.timed("score"):
-                # Copy: the chunk is masked in place below, and the
-                # model may hand back a cached or shared array.
-                scores = np.array(model.all_scores(users), dtype=np.float64)
+                # Scoring runs under no_grad so a model that forgets to
+                # detach cannot grow the tape across the full |U| x |V|
+                # ranking; the copy is needed because the chunk is
+                # masked in place below and the model may hand back a
+                # cached or shared array.
+                with no_grad():
+                    scores = np.array(model.all_scores(users), dtype=np.float64)
             if scores.shape[0] != len(users):
                 raise ValueError(
                     f"all_scores returned {scores.shape[0]} rows for "
@@ -250,7 +255,9 @@ class Evaluator:
     # reference path (per-user Python loop, kept for equivalence tests
     # and as the baseline of the hot-path benchmarks)
     # ------------------------------------------------------------------
-    def evaluate_reference(self, model, chunk_size: int = 256) -> EvalResult:
+    def evaluate_reference(  # lint: reference-path
+        self, model, chunk_size: int = 256
+    ) -> EvalResult:
         """The original per-user implementation of :meth:`evaluate`."""
         max_n = max(self.top_n)
         columns: Dict[str, List[float]] = {
@@ -258,7 +265,8 @@ class Evaluator:
         }
         for start in range(0, len(self.eval_users), chunk_size):
             users = self.eval_users[start : start + chunk_size]
-            scores = np.asarray(model.all_scores(users))
+            with no_grad():
+                scores = np.asarray(model.all_scores(users))
             if scores.shape[0] != len(users):
                 raise ValueError(
                     f"all_scores returned {scores.shape[0]} rows for "

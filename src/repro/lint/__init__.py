@@ -1,0 +1,9 @@
+"""Alias package so the linter runs as ``python -m repro.lint``.
+
+The implementation lives in :mod:`repro.analysis`; this package only
+re-exports the CLI entry point.
+"""
+
+from ..analysis.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` dispatcher."""
+
+import sys
+
+from ..analysis.cli import main
+
+sys.exit(main())

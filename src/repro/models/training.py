@@ -18,7 +18,7 @@ import numpy as np
 from ..data.sampling import BPRSampler
 from ..data.split import Split
 from ..eval.evaluator import Evaluator
-from ..nn import Adam, CosineAnnealing, StepDecay, clip_grad_norm
+from ..nn import Adam, CosineAnnealing, StepDecay, clip_grad_norm, detect_anomaly
 from .base import Recommender
 
 
@@ -42,6 +42,9 @@ class TrainConfig:
     verbose: bool = False
     lr_schedule: Optional[str] = None
     clip_norm: Optional[float] = None
+    detect_anomaly: bool = False
+    """Run training under :class:`repro.nn.detect_anomaly`: NaN/Inf on
+    the tape raises at the creating op instead of poisoning the run."""
 
     def __post_init__(self) -> None:
         if self.lr_schedule not in (None, "cosine", "step"):
@@ -73,8 +76,20 @@ def fit_bpr(
     The model's :meth:`Recommender.extra_loss` hook is added to every
     batch loss, which is how SSL/KG baselines inject their auxiliary
     objectives.  The best validation state is restored before returning.
+    ``config.detect_anomaly`` wraps the run in the autograd numeric
+    sanitizer (see :class:`repro.nn.detect_anomaly`).
     """
     config = config or TrainConfig()
+    with detect_anomaly(config.detect_anomaly):
+        return _fit_bpr(model, split, config, evaluator)
+
+
+def _fit_bpr(
+    model: Recommender,
+    split: Split,
+    config: TrainConfig,
+    evaluator: Optional[Evaluator],
+) -> TrainResult:
     rng = np.random.default_rng(config.seed)
     sampler = BPRSampler(split.train, seed=config.seed)
     evaluator = evaluator or Evaluator(

@@ -3,7 +3,12 @@
 Public surface:
 
 - :class:`Tensor` plus tensor factories (:func:`zeros`, :func:`ones`,
-  :func:`concat`, :func:`stack`, :func:`where`) and :class:`no_grad`;
+  :func:`concat`, :func:`stack`, :func:`where`) and the grad-mode
+  contexts (:class:`no_grad`, :class:`enable_grad`,
+  :class:`set_grad_enabled`);
+- correctness tooling: the numeric sanitizer (:class:`detect_anomaly`,
+  raising :class:`NumericAnomalyError` at the op creating a NaN/Inf)
+  and finite-difference :func:`gradcheck`;
 - :mod:`repro.nn.functional` (softmax, InfoNCE, BPR, segment means, …);
 - module system (:class:`Module`, :class:`Parameter`) and layers
   (:class:`Linear`, :class:`Embedding`, :class:`MLP`, …);
@@ -13,6 +18,7 @@ Public surface:
 """
 
 from . import functional
+from .gradcheck import GradcheckError, gradcheck
 from .init import normal, uniform, xavier_normal, xavier_uniform
 from .layers import (
     MLP,
@@ -45,12 +51,17 @@ from .sparse import (
     symmetric_normalize,
 )
 from .tensor import (
+    NumericAnomalyError,
     Tensor,
     as_tensor,
     concat,
+    detect_anomaly,
+    enable_grad,
+    is_anomaly_enabled,
     is_grad_enabled,
     no_grad,
     ones,
+    set_grad_enabled,
     stack,
     where,
     zeros,
@@ -61,10 +72,12 @@ __all__ = [
     "CosineAnnealing",
     "Dropout",
     "Embedding",
+    "GradcheckError",
     "LeakyReLU",
     "Linear",
     "MLP",
     "Module",
+    "NumericAnomalyError",
     "Optimizer",
     "Parameter",
     "ProjectionHead",
@@ -80,9 +93,13 @@ __all__ = [
     "build_interaction_matrix",
     "clip_grad_norm",
     "concat",
+    "detect_anomaly",
     "drop_edges",
     "drop_nodes",
+    "enable_grad",
     "functional",
+    "gradcheck",
+    "is_anomaly_enabled",
     "is_grad_enabled",
     "no_grad",
     "normal",
@@ -90,6 +107,7 @@ __all__ = [
     "ones",
     "random_walk_edges",
     "row_normalize",
+    "set_grad_enabled",
     "sparse_matmul",
     "stack",
     "symmetric_normalize",

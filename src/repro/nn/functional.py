@@ -277,7 +277,14 @@ def info_nce(
 
     Returns:
         Scalar loss (sum over rows, matching the paper's formulation).
+
+    Raises:
+        ValueError: if ``temperature`` is not strictly positive — a
+            zero/negative tau silently flips or explodes the softmax,
+            the classic source of NaN collapse in contrastive stacks.
     """
+    if temperature <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
     logits = (queries @ keys.T) * (1.0 / temperature)
     log_probs = log_softmax(logits, axis=1)
     n = logits.shape[0]

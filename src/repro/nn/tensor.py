@@ -18,6 +18,7 @@ reduced back to the operand's shape by :func:`unbroadcast`.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -25,9 +26,47 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
+_anomaly_enabled = False
 
 
-class no_grad:
+class set_grad_enabled:
+    """Context manager / decorator forcing tape recording on or off.
+
+    Re-entrant: each ``__enter__`` pushes the previous mode onto an
+    instance-local stack, so a single instance can be nested or reused
+    (including recursively through the decorator form) without
+    clobbering the restore value.
+    """
+
+    _mode = True
+
+    def __init__(self, mode: Optional[bool] = None) -> None:
+        if mode is not None:
+            self._mode = bool(mode)
+        self._stack: list[bool] = []
+
+    def __enter__(self) -> "set_grad_enabled":
+        global _grad_enabled
+        self._stack.append(_grad_enabled)
+        _grad_enabled = self._mode
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._stack.pop()
+
+    def __call__(self, fn: Callable) -> Callable:
+        mode = self._mode
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with set_grad_enabled(mode):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class no_grad(set_grad_enabled):
     """Context manager that disables graph construction.
 
     Use around evaluation code to avoid the memory overhead of recording
@@ -35,22 +74,140 @@ class no_grad:
 
         with no_grad():
             scores = model.score_all()
+
+    Also usable as a decorator, and safe to nest or reuse.
     """
 
-    def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
-        return self
+    _mode = False
 
-    def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+    def __init__(self) -> None:
+        super().__init__()
+
+
+class enable_grad(set_grad_enabled):
+    """Context manager that re-enables recording inside a ``no_grad``."""
+
+    _mode = True
+
+    def __init__(self) -> None:
+        super().__init__()
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are currently recorded on the tape."""
     return _grad_enabled
+
+
+# ----------------------------------------------------------------------
+# numeric anomaly detection
+# ----------------------------------------------------------------------
+class NumericAnomalyError(FloatingPointError):
+    """A NaN/Inf was produced by an autograd op under ``detect_anomaly``."""
+
+
+class detect_anomaly:
+    """Context manager enabling NaN/Inf sanitisation of the tape.
+
+    While active, every op created through :meth:`Tensor._make` checks
+    its forward output, and :meth:`Tensor.backward` checks every
+    gradient contribution right after the producing op's backward
+    closure runs.  A non-finite value raises
+    :class:`NumericAnomalyError` naming the creating op and the shapes
+    (and finiteness) of its parents, so a silent NaN collapse — e.g. an
+    InfoNCE temperature underflow — is pinned to its origin instead of
+    surfacing epochs later as a NaN loss.
+
+    Opt-in because the finiteness scans cost one pass over every op
+    output; enable via ``detect_anomaly()`` or the trainers'
+    ``detect_anomaly`` config flag.  Re-entrant like :class:`no_grad`.
+
+    Args:
+        enabled: when False the context is a no-op, so callers can wrap
+            code unconditionally (``with detect_anomaly(cfg.flag): …``).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._mode = bool(enabled)
+        self._stack: list[bool] = []
+
+    def __enter__(self) -> "detect_anomaly":
+        global _anomaly_enabled
+        self._stack.append(_anomaly_enabled)
+        if self._mode:
+            _anomaly_enabled = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _anomaly_enabled
+        _anomaly_enabled = self._stack.pop()
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with detect_anomaly(self._mode):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def is_anomaly_enabled() -> bool:
+    """Return whether NaN/Inf tape sanitisation is currently active."""
+    return _anomaly_enabled
+
+
+def _op_name(backward: Optional[Callable]) -> str:
+    """Provenance of an op from its backward closure's qualname.
+
+    Every op's vector-Jacobian closure is defined inside the op itself,
+    so ``__qualname__`` is e.g. ``Tensor.log.<locals>.backward`` or
+    ``softmax.<locals>.backward`` — the prefix identifies the op with
+    no per-op bookkeeping on the hot path.
+    """
+    if backward is None:
+        return "<leaf>"
+    qualname = getattr(backward, "__qualname__", "")
+    op = qualname.split(".<locals>", 1)[0]
+    return op or "<op>"
+
+
+def _describe_nonfinite(array: np.ndarray) -> str:
+    nans = int(np.isnan(array).sum())
+    infs = int(np.isinf(array).sum())
+    parts = []
+    if nans:
+        parts.append(f"{nans} NaN")
+    if infs:
+        parts.append(f"{infs} Inf")
+    return " + ".join(parts) if parts else "finite"
+
+
+def _check_forward(data: np.ndarray, parents: tuple, backward: Callable) -> None:
+    if np.isfinite(data).all():
+        return
+    lines = [
+        f"forward output of '{_op_name(backward)}' contains "
+        f"{_describe_nonfinite(data)} (output shape {data.shape})"
+    ]
+    for i, parent in enumerate(parents):
+        lines.append(
+            f"  parent {i}: shape {parent.shape}, "
+            f"{_describe_nonfinite(parent.data)}"
+        )
+    raise NumericAnomalyError("\n".join(lines))
+
+
+def _check_backward(node: "Tensor") -> None:
+    for i, parent in enumerate(node._parents):
+        if not parent.requires_grad or parent.grad is None:
+            continue
+        if np.isfinite(parent.grad).all():
+            continue
+        raise NumericAnomalyError(
+            f"backward of '{_op_name(node._backward)}' produced "
+            f"{_describe_nonfinite(parent.grad)} in the gradient of "
+            f"parent {i} (shape {parent.shape}); op output shape "
+            f"{node.shape}"
+        )
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -154,6 +311,8 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a result tensor, recording the tape only when needed."""
+        if _anomaly_enabled:
+            _check_forward(data, parents, backward)
         if _grad_enabled and any(p.requires_grad for p in parents):
             return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
         return Tensor(data)
@@ -207,6 +366,8 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if _anomaly_enabled:
+                    _check_backward(node)
 
     # ------------------------------------------------------------------
     # arithmetic

@@ -1,0 +1,10 @@
+"""Fixture: threaded Generator usage — must pass LNT001."""
+
+import numpy as np
+
+
+def draw_batch(n, seed=0):
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(n, size=4)
+    rng.shuffle(picks)
+    return picks

@@ -1,0 +1,15 @@
+"""Fixture: hot-path module whose loops are sanctioned or positional —
+must pass LNT002 even when registered as a hot path."""
+
+
+def reference_mask(scores, users, train_items):  # lint: reference-path
+    for user in users:
+        scores[user][train_items[user]] = float("-inf")
+    return scores
+
+
+def chunked(users, chunk_size):
+    out = []
+    for start in range(0, len(users), chunk_size):
+        out.append(users[start : start + chunk_size])
+    return out

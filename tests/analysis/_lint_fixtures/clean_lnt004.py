@@ -1,0 +1,14 @@
+"""Fixture: None defaults with in-body construction — must pass LNT004."""
+
+
+def collect(batch, seen=None):
+    if seen is None:
+        seen = []
+    seen.extend(batch)
+    return seen
+
+
+def tally(key, counts=None):
+    counts = dict(counts or {})
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,11 @@
+"""Fixture: typed handlers that record the failure — must pass LNT005."""
+
+import warnings
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        warnings.warn(f"could not read {path}: {exc}", RuntimeWarning)
+        return None

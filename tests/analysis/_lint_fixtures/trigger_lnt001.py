@@ -1,0 +1,11 @@
+"""Fixture: legacy global NumPy RNG usage — must trigger LNT001."""
+
+import numpy as np
+from numpy.random import shuffle
+
+
+def draw_batch(n):
+    np.random.seed(0)
+    picks = np.random.choice(n, size=4)
+    shuffle(picks)
+    return picks

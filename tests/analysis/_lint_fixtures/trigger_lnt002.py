@@ -1,0 +1,9 @@
+"""Fixture: per-entity Python loop — must trigger LNT002 when this
+file is registered as a hot path."""
+
+
+def slow_mask(scores, users, train_items):
+    for user in users:
+        for item in train_items[user]:
+            scores[user][item] = float("-inf")
+    return scores

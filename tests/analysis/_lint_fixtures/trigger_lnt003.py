@@ -1,0 +1,7 @@
+"""Fixture: scoring entry point without no_grad — must trigger LNT003
+when this file is registered as an entry-point module."""
+
+
+class Scorer:
+    def all_scores(self, users):
+        return self.user_vectors[users] @ self.item_vectors.T

@@ -1,0 +1,12 @@
+"""Fixture: mutable default arguments — must trigger LNT004."""
+
+
+def collect(batch, seen=[]):
+    seen.extend(batch)
+    return seen
+
+
+def tally(key, counts={}, labels=set()):
+    counts[key] = counts.get(key, 0) + 1
+    labels.add(key)
+    return counts

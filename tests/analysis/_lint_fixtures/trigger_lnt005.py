@@ -1,0 +1,15 @@
+"""Fixture: bare except and silent pass — must trigger LNT005."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def maybe_close(handle):
+    try:
+        handle.close()
+    except OSError:
+        pass

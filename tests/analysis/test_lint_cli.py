@@ -1,0 +1,97 @@
+"""CLI behaviour of ``python -m repro.lint``: exit codes and formats."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "_lint_fixtures"
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_head_tree_is_clean(self):
+        proc = run_cli("src", "tests", "benchmarks")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_trigger_fixtures_exit_nonzero(self):
+        cases = {
+            "trigger_lnt001.py": (),
+            "trigger_lnt002.py": ("--hot-path", "trigger_lnt002.py"),
+            "trigger_lnt003.py": ("--entry-path", "trigger_lnt003.py"),
+            "trigger_lnt004.py": (),
+            "trigger_lnt005.py": (),
+        }
+        for name, extra in cases.items():
+            proc = run_cli(str(FIXTURES / name), *extra)
+            assert proc.returncode == 1, f"{name}: {proc.stdout}{proc.stderr}"
+            code = name[len("trigger_") : -len(".py")].upper()
+            assert code in proc.stdout, f"{name} output missed {code}"
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_cli("no/such/dir")
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+
+class TestFormats:
+    def test_json_output_parses(self):
+        proc = run_cli(str(FIXTURES / "trigger_lnt004.py"), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        codes = {f["code"] for f in payload["findings"]}
+        assert codes == {"LNT004"}
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "code", "message"}
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("LNT001", "LNT002", "LNT003", "LNT004", "LNT005"):
+            assert code in proc.stdout
+
+
+class TestInProcessMain:
+    def test_main_returns_zero_on_clean(self, capsys):
+        status = main([str(FIXTURES / "clean_lnt004.py")])
+        assert status == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_returns_one_on_findings(self, capsys):
+        status = main([str(FIXTURES / "trigger_lnt005.py")])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "LNT005" in out
+        assert "2 findings" in out
+
+    def test_select_filters_rules(self, capsys):
+        status = main(
+            [str(FIXTURES / "trigger_lnt005.py"), "--select", "LNT004"]
+        )
+        assert status == 0
+
+    def test_ignore_drops_rule(self, capsys):
+        status = main(
+            [str(FIXTURES / "trigger_lnt005.py"), "--ignore", "LNT005"]
+        )
+        assert status == 0

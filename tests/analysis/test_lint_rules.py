@@ -1,0 +1,209 @@
+"""Per-rule fixture coverage: each rule has a module that must trigger
+it and one that must pass, plus directive/suppression behaviour."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Directives, Linter, RULE_REGISTRY
+
+FIXTURES = Path(__file__).parent / "_lint_fixtures"
+
+
+def codes_of(findings):
+    return {finding.code for finding in findings}
+
+
+def lint_fixture(name: str, **linter_kw):
+    path = FIXTURES / name
+    return Linter(**linter_kw).lint_file(path)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(RULE_REGISTRY) == [
+            "LNT001", "LNT002", "LNT003", "LNT004", "LNT005",
+        ]
+
+    def test_rules_have_metadata(self):
+        for code, cls in RULE_REGISTRY.items():
+            rule = cls()
+            assert rule.code == code
+            assert rule.name
+            assert rule.description
+
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule codes"):
+            Linter(select=["LNT999"])
+
+
+class TestLNT001:
+    def test_trigger(self):
+        findings = lint_fixture("trigger_lnt001.py")
+        lnt001 = [f for f in findings if f.code == "LNT001"]
+        # np.random.seed, np.random.choice, and the legacy import.
+        assert len(lnt001) >= 3
+        assert any("seed" in f.message for f in lnt001)
+
+    def test_clean(self):
+        assert "LNT001" not in codes_of(lint_fixture("clean_lnt001.py"))
+
+    def test_alias_tracking(self):
+        source = (
+            "import numpy as xp\n"
+            "def f(n):\n"
+            "    return xp.random.randint(0, n)\n"
+        )
+        findings = Linter(select=["LNT001"]).lint_source(source)
+        assert codes_of(findings) == {"LNT001"}
+
+    def test_default_rng_is_allowed(self):
+        source = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.random.default_rng(0).integers(0, n)\n"
+        )
+        assert not Linter(select=["LNT001"]).lint_source(source)
+
+
+class TestLNT002:
+    HOT = {"hot_paths": ("trigger_lnt002.py", "clean_lnt002.py")}
+
+    def test_trigger_when_registered_hot(self):
+        findings = lint_fixture("trigger_lnt002.py", **self.HOT)
+        assert "LNT002" in codes_of(findings)
+
+    def test_not_applied_outside_hot_paths(self):
+        findings = lint_fixture("trigger_lnt002.py")
+        assert "LNT002" not in codes_of(findings)
+
+    def test_reference_path_marker_suppresses(self):
+        findings = lint_fixture("clean_lnt002.py", **self.HOT)
+        assert "LNT002" not in codes_of(findings)
+
+    def test_range_loops_are_positional_not_per_entity(self):
+        source = (
+            "def f(users, chunk):\n"
+            "    for start in range(0, len(users), chunk):\n"
+            "        users[start:start + chunk] += 1\n"
+        )
+        linter = Linter(select=["LNT002"], hot_paths=("<string>",))
+        assert not linter.lint_source(source)
+
+    def test_marker_on_loop_line(self):
+        source = (
+            "def f(users):\n"
+            "    for user in users:  # lint: reference-path\n"
+            "        print(user)\n"
+        )
+        linter = Linter(select=["LNT002"], hot_paths=("<string>",))
+        assert not linter.lint_source(source)
+
+
+class TestLNT003:
+    ENTRY = {"entry_paths": ("trigger_lnt003.py", "clean_lnt003.py")}
+
+    def test_trigger_when_registered(self):
+        findings = lint_fixture("trigger_lnt003.py", **self.ENTRY)
+        assert "LNT003" in codes_of(findings)
+
+    def test_not_applied_outside_entry_paths(self):
+        findings = lint_fixture("trigger_lnt003.py")
+        assert "LNT003" not in codes_of(findings)
+
+    def test_no_grad_and_delegation_pass(self):
+        findings = lint_fixture("clean_lnt003.py", **self.ENTRY)
+        assert "LNT003" not in codes_of(findings)
+
+
+class TestLNT004:
+    def test_trigger(self):
+        findings = lint_fixture("trigger_lnt004.py")
+        lnt004 = [f for f in findings if f.code == "LNT004"]
+        assert len(lnt004) == 3  # [], {}, set()
+
+    def test_clean(self):
+        assert "LNT004" not in codes_of(lint_fixture("clean_lnt004.py"))
+
+    def test_keyword_only_defaults(self):
+        source = "def f(*, cache={}):\n    return cache\n"
+        assert codes_of(Linter().lint_source(source)) == {"LNT004"}
+
+
+class TestLNT005:
+    def test_trigger(self):
+        findings = lint_fixture("trigger_lnt005.py")
+        lnt005 = [f for f in findings if f.code == "LNT005"]
+        assert len(lnt005) == 2  # bare except + silent pass
+        assert any("bare" in f.message for f in lnt005)
+        assert any("silently" in f.message for f in lnt005)
+
+    def test_clean(self):
+        assert "LNT005" not in codes_of(lint_fixture("clean_lnt005.py"))
+
+
+class TestDirectives:
+    def test_line_disable(self):
+        source = (
+            "def f(x=[]):  # lint: disable=LNT004\n"
+            "    return x\n"
+        )
+        assert not Linter().lint_source(source)
+
+    def test_line_disable_other_code_does_not_suppress(self):
+        source = (
+            "def f(x=[]):  # lint: disable=LNT005\n"
+            "    return x\n"
+        )
+        assert codes_of(Linter().lint_source(source)) == {"LNT004"}
+
+    def test_file_disable(self):
+        source = (
+            "# lint: file-disable=LNT004\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+            "def g(y={}):\n"
+            "    return y\n"
+        )
+        assert not Linter().lint_source(source)
+
+    def test_parse_collects_all_forms(self):
+        directives = Directives.parse(
+            "# lint: file-disable=LNT001\n"
+            "x = 1  # lint: disable=LNT004, LNT005\n"
+            "y = 2  # lint: reference-path\n"
+        )
+        assert directives.file_disabled == {"LNT001"}
+        assert directives.line_disabled == {2: {"LNT004", "LNT005"}}
+        assert directives.reference_lines == {3}
+
+    def test_directive_inside_string_ignored(self):
+        source = 'note = "# lint: file-disable=LNT004"\ndef f(x=[]):\n    return x\n'
+        assert codes_of(Linter().lint_source(source)) == {"LNT004"}
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_finding(self):
+        findings = Linter().lint_source("def broken(:\n")
+        assert codes_of(findings) == {"LNT000"}
+
+    def test_fixture_walk_is_excluded_by_default(self):
+        report = Linter().lint_paths([Path(__file__).parent])
+        assert report.ok  # _lint_fixtures skipped, test modules clean
+
+    def test_explicit_file_bypasses_exclusion(self):
+        findings = Linter().lint_file(FIXTURES / "trigger_lnt004.py")
+        assert findings
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            Linter().lint_paths(["does/not/exist"])
+
+    def test_repo_tree_is_clean_at_head(self):
+        root = Path(__file__).resolve().parents[2]
+        report = Linter().lint_paths(
+            [root / "src", root / "tests", root / "benchmarks"]
+        )
+        assert report.ok, "\n".join(f.format() for f in report.findings)

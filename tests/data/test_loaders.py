@@ -76,7 +76,10 @@ class TestRegistry:
         assert ds.num_users > 0
 
     def test_fallback_when_files_missing(self, tmp_path):
-        ds = load_dataset("hetrec-mv", data_dir=str(tmp_path), scale=0.03, seed=0)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ds = load_dataset(
+                "hetrec-mv", data_dir=str(tmp_path), scale=0.03, seed=0
+            )
         assert ds.num_users > 0  # no files there -> synthetic
 
     def test_load_pairs_dataset(self, tmp_path):
@@ -116,6 +119,8 @@ class TestCiteulikeLoader:
         assert ds.num_tag_assignments > 0
 
     def test_registry_prefers_real_files(self, tmp_path):
-        # With no files present the registry falls back to synthetic.
-        ds = load_dataset("citeulike", data_dir=str(tmp_path), scale=0.03)
+        # With no files present the registry falls back to synthetic,
+        # warning about the missing raw files.
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            ds = load_dataset("citeulike", data_dir=str(tmp_path), scale=0.03)
         assert ds.num_users > 0

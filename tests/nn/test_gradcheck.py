@@ -1,0 +1,105 @@
+"""Finite-difference gradcheck pinning of `repro.nn.functional` ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GradcheckError, Tensor, gradcheck
+from repro.nn import functional as F
+from repro.nn.tensor import as_tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestFunctionalOps:
+    def test_softmax(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda t: F.softmax(t, axis=1), [x])
+
+    def test_log(self, rng):
+        x = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)))
+        assert gradcheck(lambda t: t.log(), [x])
+
+    def test_leaky_relu(self, rng):
+        # Keep inputs away from the kink at 0 where the subgradient and
+        # the symmetric difference legitimately disagree.
+        data = rng.normal(size=(4, 4))
+        data[np.abs(data) < 0.1] = 0.5
+        assert gradcheck(lambda t: t.leaky_relu(0.2), [Tensor(data)])
+
+    def test_log_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 6)))
+        assert gradcheck(lambda t: F.log_softmax(t, axis=1), [x])
+
+    def test_log_sigmoid(self, rng):
+        x = Tensor(rng.normal(size=(8,)))
+        assert gradcheck(F.log_sigmoid, [x])
+
+    def test_l2_normalize(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)) + 0.5)
+        assert gradcheck(lambda t: F.l2_normalize(t, axis=1), [x])
+
+    def test_info_nce(self, rng):
+        q = Tensor(rng.normal(size=(5, 8)))
+        k = Tensor(rng.normal(size=(5, 8)))
+        assert gradcheck(lambda a, b: F.info_nce(a, b, temperature=0.7), [q, k])
+
+    def test_info_nce_with_mask_and_weights(self, rng):
+        q = Tensor(rng.normal(size=(4, 6)))
+        k = Tensor(rng.normal(size=(4, 6)))
+        mask = rng.random((4, 4)) > 0.5
+        weights = rng.uniform(0.5, 1.5, size=4)
+        assert gradcheck(
+            lambda a, b: F.info_nce(
+                a, b, temperature=1.3, row_weights=weights, positive_mask=mask
+            ),
+            [q, k],
+        )
+
+    def test_bpr_loss(self, rng):
+        pos = Tensor(rng.normal(size=(6,)))
+        neg = Tensor(rng.normal(size=(6,)))
+        assert gradcheck(F.bpr_loss, [pos, neg])
+
+
+class TestHarness:
+    def test_detects_wrong_gradient(self):
+        def bad_square(x):
+            x = as_tensor(x)
+            out_data = x.data**2
+
+            def backward(g):
+                if x.requires_grad:
+                    x._accumulate(g * 3.0 * x.data)  # wrong: should be 2x
+
+            return Tensor._make(out_data, (x,), backward)
+
+        x = Tensor([1.0, 2.0, 3.0])
+        with pytest.raises(GradcheckError, match="gradient mismatch"):
+            gradcheck(bad_square, [x])
+        assert gradcheck(bad_square, [x], raise_on_failure=False) is False
+
+    def test_inputs_not_mutated(self):
+        data = np.array([1.0, 2.0])
+        x = Tensor(data.copy())
+        gradcheck(lambda t: (t * t).sum(), [x])
+        np.testing.assert_array_equal(x.data, data)
+
+    def test_disconnected_output_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(GradcheckError, match="does not require grad"):
+            gradcheck(lambda t: Tensor([1.0]), [x])
+
+    def test_non_tensor_output_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(TypeError, match="must return a Tensor"):
+            gradcheck(lambda t: np.ones(3), [x])
+
+    def test_info_nce_rejects_bad_temperature(self):
+        q = Tensor(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="temperature"):
+            F.info_nce(q, q, temperature=0.0)
