@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -26,3 +26,15 @@ baseline:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q -s
+
+# Checkpoint/resume smoke: train 4 epochs with snapshots, then resume the
+# same run from the newest snapshot and extend it to 8 epochs.
+train-resume:
+	rm -rf .ckpt-smoke
+	$(PYTHON) -m repro run --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 4 --batch-size 256 \
+		--checkpoint-dir .ckpt-smoke --checkpoint-every 2
+	$(PYTHON) -m repro run --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 8 --batch-size 256 \
+		--checkpoint-dir .ckpt-smoke --resume
+	rm -rf .ckpt-smoke

@@ -9,6 +9,10 @@ Subpackages:
 - :mod:`repro.core` — the IMCAT method (IRM + IMCA + ISA + trainer);
 - :mod:`repro.eval` — ranking metrics, evaluator, group analyses;
 - :mod:`repro.perf` — timers/counters instrumentation for perf reports;
+- :mod:`repro.ckpt` — fault-tolerant checkpoint/resume (atomic rolling
+  snapshots of the full training state, bit-exact continuation);
+- :mod:`repro.testing` — fault-injection harness (crash points, I/O
+  fault proxies) exercising the checkpoint subsystem;
 - :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
 
@@ -28,10 +32,10 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import bench, core, data, eval, models, nn, perf  # noqa: F401
+from . import bench, ckpt, core, data, eval, models, nn, perf, testing  # noqa: F401
 from .io import load_model, save_model
 
 __all__ = [
-    "bench", "core", "data", "eval", "load_model", "models", "nn",
-    "perf", "save_model", "__version__",
+    "bench", "ckpt", "core", "data", "eval", "load_model", "models",
+    "nn", "perf", "save_model", "testing", "__version__",
 ]

@@ -20,7 +20,14 @@ from .harness import (
     run_recipe,
     run_table,
 )
-from .registry import ABLATIONS, EXTRAS, METHODS, TrainedMethod, build_imcat_recipe
+from .registry import (
+    ABLATIONS,
+    EXTRAS,
+    METHODS,
+    MODEL_BUILDERS,
+    TrainedMethod,
+    build_imcat_recipe,
+)
 from .plots import bar_chart, series_plot, sparkline
 from .report import compare_results, load_results, save_results, to_markdown
 from .sweep import PAPER_GRID, SweepResult, Trial, grid_search
@@ -34,6 +41,7 @@ __all__ = [
     "HOTPATH_CONFIG",
     "HotpathResult",
     "METHODS",
+    "MODEL_BUILDERS",
     "PAPER_GRID",
     "SweepResult",
     "TrainedMethod",

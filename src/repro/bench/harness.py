@@ -36,6 +36,29 @@ class BenchSettings:
     split_seed: int = 2
     train_seed: int = 7
     top_n: int = 20
+    checkpoint_dir: Optional[str] = None
+    """Snapshot training state under this directory (see
+    :mod:`repro.ckpt`); ``None`` keeps checkpointing off."""
+    checkpoint_every: int = 1
+    """Epoch interval between snapshots when ``checkpoint_dir`` is set."""
+    keep_last: int = 3
+    """Rolling retention for snapshots (newest kept, plus the best)."""
+    resume_from: Optional[str] = None
+    """``"auto"`` or a checkpoint path/directory to resume from."""
+
+    def train_overrides(self) -> Dict[str, object]:
+        """Checkpoint/resume keywords to forward into a recipe's
+        train config (empty when checkpointing is off)."""
+        overrides: Dict[str, object] = {}
+        if self.checkpoint_dir is not None:
+            overrides.update(
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                keep_last=self.keep_last,
+            )
+        if self.resume_from is not None:
+            overrides["resume_from"] = self.resume_from
+        return overrides
 
 
 @dataclass
@@ -77,6 +100,7 @@ def run_recipe(
         settings.train_seed,
         settings.epochs,
         settings.batch_size,
+        **settings.train_overrides(),
     )
     evaluator = Evaluator(
         split.train, split.test, top_n=(settings.top_n,), metrics=("recall", "ndcg")

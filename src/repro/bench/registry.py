@@ -41,7 +41,11 @@ def _train_interactions(split: Split):
 
 
 def _simple(builder: Callable) -> Callable:
-    """Wrap a model builder into the standard fit_bpr training recipe."""
+    """Wrap a model builder into the standard fit_bpr training recipe.
+
+    Extra keyword arguments (e.g. ``checkpoint_dir`` / ``resume_from``)
+    are forwarded into :class:`~repro.models.TrainConfig`.
+    """
 
     def recipe(
         dataset: TagRecDataset,
@@ -50,6 +54,7 @@ def _simple(builder: Callable) -> Callable:
         seed: int,
         epochs: int,
         batch_size: int,
+        **train_overrides,
     ) -> TrainedMethod:
         rng = np.random.default_rng(seed)
         model = builder(dataset, split, embed_dim, rng)
@@ -59,7 +64,7 @@ def _simple(builder: Callable) -> Callable:
             split,
             TrainConfig(
                 epochs=epochs, batch_size=batch_size, seed=seed,
-                eval_every=5, patience=4,
+                eval_every=5, patience=4, **train_overrides,
             ),
         )
         return TrainedMethod(
@@ -73,7 +78,11 @@ def _simple(builder: Callable) -> Callable:
 
 
 def _imcat(backbone_builder: Callable, config: Optional[IMCATConfig] = None) -> Callable:
-    """Wrap a backbone builder into the IMCAT training recipe."""
+    """Wrap a backbone builder into the IMCAT training recipe.
+
+    Extra keyword arguments (e.g. ``checkpoint_dir`` / ``resume_from``)
+    are forwarded into :class:`~repro.core.IMCATTrainConfig`.
+    """
 
     def recipe(
         dataset: TagRecDataset,
@@ -82,6 +91,7 @@ def _imcat(backbone_builder: Callable, config: Optional[IMCATConfig] = None) -> 
         seed: int,
         epochs: int,
         batch_size: int,
+        **train_overrides,
     ) -> TrainedMethod:
         rng = np.random.default_rng(seed)
         backbone = backbone_builder(dataset, split, embed_dim, rng)
@@ -92,7 +102,7 @@ def _imcat(backbone_builder: Callable, config: Optional[IMCATConfig] = None) -> 
             split,
             IMCATTrainConfig(
                 epochs=epochs, batch_size=batch_size, seed=seed,
-                eval_every=5, patience=4,
+                eval_every=5, patience=4, **train_overrides,
             ),
         )
         start = time.time()
@@ -201,6 +211,26 @@ def _fm(dataset, split, embed_dim, rng):
 EXTRAS: Dict[str, Callable] = {
     "DGCF": _simple(_dgcf),
     "FM": _simple(_fm),
+}
+
+#: Every plain (non-IMCAT) model, name -> builder(dataset, split,
+#: embed_dim, rng).  Used by the persistence round-trip tests and any
+#: caller that needs an untrained instance outside the training recipes.
+MODEL_BUILDERS: Dict[str, Callable] = {
+    "BPRMF": _bprmf,
+    "NeuMF": _neumf,
+    "LightGCN": _lightgcn,
+    "CFA": _cfa,
+    "DSPR": _dspr,
+    "TGCN": _tgcn,
+    "CKE": _cke,
+    "RippleNet": _ripplenet,
+    "KGAT": _kgat,
+    "KGIN": _kgin,
+    "SGL": _sgl,
+    "KGCL": _kgcl,
+    "DGCF": _dgcf,
+    "FM": _fm,
 }
 
 #: Table III ablation variants.

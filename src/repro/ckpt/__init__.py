@@ -1,0 +1,54 @@
+"""Fault-tolerant checkpoint/resume subsystem.
+
+Snapshots the *complete* training state — model parameters, IMCAT's
+non-parameter cluster state, optimizer moments, scheduler position, RNG
+bit streams, sampler cursors, epoch/step counters, and early-stopping
+bookkeeping — so an interrupted run resumes to a bit-exact continuation
+of the uninterrupted one.
+
+Layers:
+
+- :mod:`repro.ckpt.serialize` — loss-free encoding of nested state
+  trees into one checksummable ``.npz`` byte string;
+- :mod:`repro.ckpt.manager` — :class:`CheckpointManager` with atomic
+  writes (temp file + ``os.replace``), a JSON manifest, rolling
+  retention (``keep_last`` + best-by-metric), and checksum-verified
+  loading that falls back past corrupt snapshots.
+
+Trainers opt in through ``checkpoint_dir`` / ``checkpoint_every`` /
+``resume_from`` on :class:`repro.models.TrainConfig` and
+:class:`repro.core.IMCATTrainConfig`; see the "Checkpointing & resume"
+section of the README.
+"""
+
+from .manager import (
+    MANIFEST_NAME,
+    Checkpoint,
+    CheckpointError,
+    CheckpointManager,
+    read_checkpoint,
+    resolve_resume,
+)
+from .serialize import (
+    checksum,
+    config_fingerprint,
+    decode_state,
+    encode_state,
+    rng_state,
+    set_rng_state,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointManager",
+    "MANIFEST_NAME",
+    "checksum",
+    "config_fingerprint",
+    "decode_state",
+    "encode_state",
+    "read_checkpoint",
+    "resolve_resume",
+    "rng_state",
+    "set_rng_state",
+]

@@ -39,6 +39,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--embed-dim", type=int, default=32)
     run.add_argument("--batch-size", type=int, default=512)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="snapshot full training state under DIR (repro.ckpt)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="epochs between snapshots (with --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--keep-last", type=int, default=3, metavar="N",
+        help="rolling retention: newest snapshots kept (plus the best)",
+    )
+    run.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="FROM",
+        help="resume training: bare --resume picks the newest valid "
+             "snapshot under --checkpoint-dir; or pass a checkpoint "
+             "file/directory",
+    )
 
     stats = commands.add_parser("stats", help="print Table I statistics")
     stats.add_argument("--scale", type=float, default=0.05)
@@ -55,6 +73,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         batch_size=args.batch_size,
         train_seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
+        resume_from=args.resume,
     )
     cell = run_method(args.dataset, args.method, settings)
     print(

@@ -88,6 +88,26 @@ class UserAggregator:
                 self._users_of_item[item], size=self.max_users, replace=False
             )
 
+    def subsample_state(self) -> np.ndarray:
+        """The stochastic rows of the padded index: over-capacity items.
+
+        At-capacity rows are deterministic from the dataset, so a
+        checkpoint only needs the resampled rows to restore the
+        aggregation bit-exactly.
+        """
+        return self._padded[self._over].copy()
+
+    def load_subsample_state(self, rows: np.ndarray) -> None:
+        """Restore rows captured by :meth:`subsample_state`."""
+        rows = np.asarray(rows, dtype=np.int64)
+        expected = (len(self._over), self.max_users)
+        if rows.shape != expected:
+            raise ValueError(
+                f"user-subsample state mismatch: got shape {rows.shape}, "
+                f"expected {expected}"
+            )
+        self._padded[self._over] = rows
+
     def __call__(
         self,
         item_batch: np.ndarray,

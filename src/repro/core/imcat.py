@@ -252,3 +252,42 @@ class IMCAT(Module):
                 self.num_tags,
                 self.config.delta,
             )
+
+    # ------------------------------------------------------------------
+    # checkpointable non-parameter state
+    # ------------------------------------------------------------------
+    def get_extra_state(self) -> dict:
+        """Non-parameter training state for :mod:`repro.ckpt` snapshots.
+
+        Intent-cluster state is *training* state, not just weights: the
+        hard memberships, the clustering-phase flag, the cached KL
+        target of Eq. 6, and the stochastic user subsample all shape the
+        next gradient step, so a bit-exact resume must carry them.  The
+        ISA index is derived deterministically from the memberships and
+        is rebuilt on load rather than stored.
+        """
+        return {
+            "clustering_active": self.clustering_active,
+            "tag_clusters": self.tag_clusters.copy(),
+            "kl_target": (
+                None if self._kl_target is None else self._kl_target.copy()
+            ),
+            "user_subsample": self._user_aggregator.subsample_state(),
+        }
+
+    def set_extra_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_extra_state`."""
+        self.clustering_active = bool(state["clustering_active"])
+        self.tag_clusters = np.asarray(state["tag_clusters"], dtype=np.int64)
+        kl_target = state["kl_target"]
+        self._kl_target = None if kl_target is None else np.asarray(kl_target)
+        self._user_aggregator.load_subsample_state(state["user_subsample"])
+        if self.config.use_isa:
+            self.isa_index = SetToSetIndex(
+                self._tags_of_item,
+                self.tag_clusters,
+                self.config.num_intents,
+                self.num_items,
+                self.num_tags,
+                self.config.delta,
+            )

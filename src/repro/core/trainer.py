@@ -22,6 +22,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import testing
+from ..ckpt import (
+    CheckpointError,
+    CheckpointManager,
+    config_fingerprint,
+    resolve_resume,
+    rng_state,
+    set_rng_state,
+)
 from ..data.sampling import BPRSampler, IndexCycler, ItemTagSampler, TripletCycler
 from ..data.split import Split
 from ..eval.evaluator import Evaluator
@@ -48,6 +57,19 @@ class IMCATTrainConfig:
     """Run the whole fit under :class:`repro.nn.detect_anomaly`, so a
     NaN/Inf raises at the creating op instead of surfacing as a NaN
     loss epochs later.  Costs one finiteness scan per op output."""
+    checkpoint_dir: Optional[str] = None
+    """Directory for :mod:`repro.ckpt` snapshots; ``None`` disables
+    checkpointing entirely."""
+    checkpoint_every: int = 1
+    """Snapshot every N epochs (at the epoch boundary, where the full
+    RNG/sampler state makes the continuation bit-exact)."""
+    keep_last: int = 3
+    """Rolling retention: newest snapshots kept (plus the best by the
+    validation metric)."""
+    resume_from: Optional[str] = None
+    """``"auto"`` resumes from the newest valid snapshot under
+    ``checkpoint_dir`` (fresh start when there is none); a path loads
+    that checkpoint file or directory explicitly."""
 
 
 @dataclass
@@ -124,17 +146,23 @@ class IMCATTrainer:
         perf = self.perf if self.perf is not None else StopwatchRegistry()
         counters = CounterRegistry()
 
-        # Phase-1 alignment uses a single degenerate cluster; build the
-        # ISA index for it once.
-        with perf.timed("cluster-refresh"):
-            model.refresh_clusters(rng)
-
         # Auxiliary batch streams: index arrays are cached once and
         # reshuffled in place at each wrap instead of rebuilding Python
         # lists of every batch at every epoch.
         it_batches = TripletCycler(it_sampler, config.batch_size, rng)
         item_batches = IndexCycler(
             model.num_items, imcat_config.align_batch_size, rng
+        )
+
+        manager = None
+        if config.checkpoint_dir is not None:
+            manager = CheckpointManager(
+                config.checkpoint_dir, keep_last=config.keep_last
+            )
+        fingerprint = config_fingerprint(
+            config,
+            imcat_config,
+            {"kind": "imcat", "backbone": type(model.backbone).__name__},
         )
 
         best_metric = -np.inf
@@ -145,8 +173,72 @@ class IMCATTrainer:
         start = time.time()
         step = 0
         epochs_run = 0
+        start_epoch = 0
 
-        for epoch in range(config.epochs):
+        resumed = resolve_resume(config.resume_from, manager)
+        if resumed is not None:
+            if resumed.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    "checkpoint/config mismatch: the snapshot was written "
+                    f"under fingerprint {resumed.get('fingerprint')!r} but "
+                    f"this run has {fingerprint!r}; resume with the same "
+                    "optimisation settings (the epoch budget may differ)"
+                )
+            model.load_state_dict(resumed["model"])
+            model.set_extra_state(resumed["model_extra"])
+            optimizer.load_state_dict(resumed["optimizer"])
+            set_rng_state(rng, resumed["rng"])
+            ui_sampler.load_state_dict(resumed["samplers"]["ui"])
+            it_sampler.load_state_dict(resumed["samplers"]["it"])
+            it_batches.load_state_dict(resumed["cyclers"]["triplets"])
+            item_batches.load_state_dict(resumed["cyclers"]["items"])
+            best = resumed["best"]
+            best_metric = -np.inf if best["metric"] is None else best["metric"]
+            best_epoch = best["epoch"]
+            best_state = best["state"]
+            bad_evals = best["bad_evals"]
+            history = list(resumed["history"])
+            step = resumed["step"]
+            epochs_run = resumed["epochs_run"]
+            start_epoch = resumed["epoch"]
+            model.begin_step()
+        else:
+            # Phase-1 alignment uses a single degenerate cluster; build
+            # the ISA index for it once.
+            with perf.timed("cluster-refresh"):
+                model.refresh_clusters(rng)
+
+        def snapshot(next_epoch: int) -> dict:
+            """Full training state at an epoch boundary (bit-exact)."""
+            return {
+                "version": 1,
+                "kind": "imcat",
+                "fingerprint": fingerprint,
+                "epoch": next_epoch,
+                "step": step,
+                "epochs_run": epochs_run,
+                "model": model.state_dict(),
+                "model_extra": model.get_extra_state(),
+                "optimizer": optimizer.state_dict(),
+                "rng": rng_state(rng),
+                "samplers": {
+                    "ui": ui_sampler.state_dict(),
+                    "it": it_sampler.state_dict(),
+                },
+                "cyclers": {
+                    "triplets": it_batches.state_dict(),
+                    "items": item_batches.state_dict(),
+                },
+                "best": {
+                    "metric": None if best_state is None else float(best_metric),
+                    "epoch": best_epoch,
+                    "state": best_state,
+                    "bad_evals": bad_evals,
+                },
+                "history": history,
+            }
+
+        for epoch in range(start_epoch, config.epochs):
             epochs_run = epoch + 1
             if epoch == imcat_config.pretrain_epochs:
                 model.activate_clustering(rng)
@@ -175,6 +267,7 @@ class IMCATTrainer:
                 step += 1
                 counters.add("steps")
                 counters.add("triplets", len(ui_batch))
+                testing.check(testing.TRAINER_STEP)
                 if (
                     model.clustering_active
                     and step % imcat_config.cluster_refresh_every == 0
@@ -207,6 +300,15 @@ class IMCATTrainer:
                         history.append(record)
                         break
             history.append(record)
+            if manager is not None and (epoch + 1) % config.checkpoint_every == 0:
+                with perf.timed("checkpoint"):
+                    manager.save(
+                        snapshot(next_epoch=epoch + 1),
+                        step=step,
+                        metric=record.get(metric_key),
+                    )
+                counters.add("checkpoints")
+            testing.check(testing.TRAINER_EPOCH)
 
         if best_state is not None:
             model.load_state_dict(best_state)

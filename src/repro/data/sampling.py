@@ -135,6 +135,20 @@ class _PairSampler:
     def _num_anchors(self) -> int:
         return int(self._anchors.max()) + 1 if len(self._anchors) else 0
 
+    def state_dict(self) -> dict:
+        """Resumable sampler state: the RNG bit stream.
+
+        The pair arrays are rebuilt identically from the dataset at
+        construction, so the generator state is the only thing a
+        checkpoint needs to reproduce the remaining shuffle/negative
+        draws bit-exactly.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the RNG stream saved by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+
     def take(self, index: np.ndarray) -> TripletBatch:
         """Materialise the triplets at ``index`` with fresh negatives."""
         anchors = self._anchors[index]
@@ -221,6 +235,25 @@ class TripletCycler:
         self._cursor += self._batch_size
         return self._sampler.take(index)
 
+    def state_dict(self) -> dict:
+        """Mid-stream position: the shuffled order and the cursor.
+
+        The shuffle RNG is shared with (and checkpointed by) the
+        trainer, so only the materialised order and offset live here.
+        """
+        return {"order": self._order.copy(), "cursor": int(self._cursor)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the position saved by :meth:`state_dict`."""
+        order = np.asarray(state["order"])
+        if order.shape != self._order.shape:
+            raise ValueError(
+                f"cycler state mismatch: saved order has shape {order.shape}, "
+                f"expected {self._order.shape}"
+            )
+        self._order[...] = order
+        self._cursor = int(state["cursor"])
+
 
 class IndexCycler:
     """Endless shuffled index batches over ``range(n)``.
@@ -248,6 +281,21 @@ class IndexCycler:
         batch = self._order[self._cursor : self._cursor + self._batch_size]
         self._cursor += self._batch_size
         return batch
+
+    def state_dict(self) -> dict:
+        """Mid-stream position (see :meth:`TripletCycler.state_dict`)."""
+        return {"order": self._order.copy(), "cursor": int(self._cursor)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the position saved by :meth:`state_dict`."""
+        order = np.asarray(state["order"])
+        if order.shape != self._order.shape:
+            raise ValueError(
+                f"cycler state mismatch: saved order has shape {order.shape}, "
+                f"expected {self._order.shape}"
+            )
+        self._order[...] = order
+        self._cursor = int(state["cursor"])
 
 
 def sample_item_batches(

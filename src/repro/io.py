@@ -1,10 +1,19 @@
 """Model persistence: save/load parameter state as compressed ``.npz``.
 
 Works with any :class:`repro.nn.Module` via its ``state_dict`` —
-backbones, baselines, and the full IMCAT wrapper.  IMCAT's non-parameter
-training state (hard tag clusters, clustering-phase flag) is stored
-alongside so a reloaded model scores identically and can resume
-cluster-dependent behaviour.
+backbones, baselines, and the full IMCAT wrapper.  Non-parameter state
+that inference needs rides along: IMCAT's hard tag clusters and
+clustering-phase flag, plus any model's ``persistent_buffers()`` (e.g.
+RippleNet's sampled ripple sets).  After loading, models that derive
+caches from their parameters (KGAT attention, DGCF intent routing) are
+refreshed so a reloaded model scores identically to the saved one.
+
+Paths are normalised once: both helpers append the ``.npz`` suffix if
+missing and tolerate callers that append it twice (``np.savez`` would
+otherwise silently write ``name.npz`` while a later
+``load_model(model, "name.npz.npz")`` missed it).  Full training-state
+snapshots (optimizer, RNG streams, counters) live in :mod:`repro.ckpt`;
+this module intentionally stores only what inference needs.
 """
 
 from __future__ import annotations
@@ -16,19 +25,54 @@ import numpy as np
 from .nn import Module
 
 _META_PREFIX = "__meta__"
+_BUFFER_PREFIX = "__buf__"
+_SUFFIX = ".npz"
 
 
-def save_model(model: Module, path: str) -> None:
-    """Serialise ``model``'s parameters (and IMCAT state) to ``path``."""
+def _normalize_path(path: str) -> str:
+    """Collapse repeated ``.npz`` suffixes and ensure exactly one."""
+    while path.endswith(_SUFFIX + _SUFFIX):
+        path = path[: -len(_SUFFIX)]
+    if not path.endswith(_SUFFIX):
+        path = f"{path}{_SUFFIX}"
+    return path
+
+
+def _resolve_existing(path: str) -> str:
+    """The on-disk file for a load request, however the caller spelled it.
+
+    Tries the normalised name first (what :func:`save_model` writes),
+    then the caller's literal spelling, so pre-normalisation archives
+    saved under bare names keep loading.
+    """
+    normalized = _normalize_path(path)
+    if os.path.exists(normalized):
+        return normalized
+    if os.path.exists(path):
+        return path
+    return normalized  # let np.load raise a precise FileNotFoundError
+
+
+def save_model(model: Module, path: str) -> str:
+    """Serialise ``model``'s parameters (and IMCAT state) to ``path``.
+
+    Returns the normalised path actually written (always one ``.npz``
+    suffix, regardless of how the caller spelled it).
+    """
     payload = dict(model.state_dict())
     if hasattr(model, "tag_clusters"):
         payload[f"{_META_PREFIX}tag_clusters"] = np.asarray(model.tag_clusters)
         payload[f"{_META_PREFIX}clustering_active"] = np.asarray(
             getattr(model, "clustering_active", False)
         )
+    if hasattr(model, "persistent_buffers"):
+        for name, array in model.persistent_buffers().items():
+            payload[f"{_BUFFER_PREFIX}{name}"] = np.asarray(array)
+    path = _normalize_path(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, **payload)
+    return path
 
 
 def load_model(model: Module, path: str) -> Module:
@@ -37,19 +81,32 @@ def load_model(model: Module, path: str) -> Module:
     The module must have the same architecture (same parameter names
     and shapes).  Returns the model for chaining.
     """
-    if not path.endswith(".npz") and not os.path.exists(path):
-        path = f"{path}.npz"
-    with np.load(path) as archive:
+    with np.load(_resolve_existing(path)) as archive:
         state = {}
+        buffers = {}
         for key in archive.files:
             if key.startswith(_META_PREFIX):
                 continue
+            if key.startswith(_BUFFER_PREFIX):
+                buffers[key[len(_BUFFER_PREFIX):]] = archive[key]
+                continue
             state[key] = archive[key]
         model.load_state_dict(state)
+        if hasattr(model, "load_persistent_buffers"):
+            model.load_persistent_buffers(buffers)
+        elif buffers:
+            raise ValueError(
+                f"archive carries buffers {sorted(buffers)} but "
+                f"{type(model).__name__} cannot load them"
+            )
         clusters_key = f"{_META_PREFIX}tag_clusters"
         if clusters_key in archive.files and hasattr(model, "tag_clusters"):
             model.tag_clusters = archive[clusters_key].astype(np.int64)
             model.clustering_active = bool(
                 archive[f"{_META_PREFIX}clustering_active"]
             )
+    if hasattr(model, "refresh_epoch"):
+        # Rebuild parameter-derived caches (KGAT attention adjacency,
+        # DGCF intent channels) from the loaded parameters.
+        model.refresh_epoch(0)
     return model

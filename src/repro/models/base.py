@@ -13,7 +13,7 @@ representations and a pairwise scorer can be wrapped.  The contract is:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -66,6 +66,38 @@ class Recommender(Module):
     def begin_step(self) -> None:
         """Hook called before each training step.  GNN models use it to
         drop cached propagations so each step builds a fresh graph."""
+
+    # ------------------------------------------------------------------
+    # non-parameter state
+    # ------------------------------------------------------------------
+    def persistent_buffers(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays that inference needs (e.g. RippleNet's
+        sampled ripple sets).  Saved alongside parameters by
+        :func:`repro.io.save_model`.  Default: none."""
+        return {}
+
+    def load_persistent_buffers(self, buffers: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`persistent_buffers` output.  Default: rejects
+        anything, so archives never silently drop state the model cannot
+        absorb."""
+        if buffers:
+            raise ValueError(
+                f"{type(self).__name__} has no persistent buffers but the "
+                f"archive carries {sorted(buffers)}"
+            )
+
+    def get_extra_state(self) -> Optional[Dict[str, Any]]:
+        """Non-parameter *training* state for full checkpoints (e.g. the
+        augmentation RNG of SSL baselines).  Default: none.  See
+        :mod:`repro.ckpt`."""
+        return None
+
+    def set_extra_state(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`get_extra_state` output on resume."""
+        raise ValueError(
+            f"{type(self).__name__} carries no extra training state but a "
+            f"checkpoint supplied some"
+        )
 
     # ------------------------------------------------------------------
     # scoring

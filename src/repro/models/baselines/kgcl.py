@@ -77,6 +77,13 @@ class KGCL(LightGCN):
             for _ in range(2)
         ]
 
+    def get_extra_state(self) -> dict:
+        """The augmentation RNG position (see :class:`SGL`)."""
+        return {"aug_rng": self._aug_rng.bit_generator.state}
+
+    def set_extra_state(self, state: dict) -> None:
+        self._aug_rng.bit_generator.state = state["aug_rng"]
+
     def _item_view(self, adjacency) -> Tensor:
         """Item representations aggregated from a tag-graph view."""
         tag_messages = sparse_matmul(adjacency, self.tag_embedding.all())

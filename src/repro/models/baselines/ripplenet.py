@@ -93,6 +93,25 @@ class RippleNet(TagAwareRecommender):
                 )
         return hop1, hop2
 
+    def persistent_buffers(self) -> dict:
+        """The sampled ripple sets — construction-time RNG state that a
+        reloaded model must reuse to score identically."""
+        return {"ripples": self._ripples.copy(), "ripples2": self._ripples2.copy()}
+
+    def load_persistent_buffers(self, buffers: dict) -> None:
+        for name in ("ripples", "ripples2"):
+            if name not in buffers:
+                raise ValueError(f"archive is missing ripple buffer {name!r}")
+            loaded = np.asarray(buffers[name], dtype=np.int64)
+            current = self._ripples if name == "ripples" else self._ripples2
+            if loaded.shape != current.shape:
+                raise ValueError(
+                    f"ripple buffer {name!r} shape {loaded.shape} does not "
+                    f"match model shape {current.shape}"
+                )
+        self._ripples = np.asarray(buffers["ripples"], dtype=np.int64)
+        self._ripples2 = np.asarray(buffers["ripples2"], dtype=np.int64)
+
     def _attend_pool(
         self, entities: Tensor, item_vecs: Tensor, batch: int
     ) -> Tensor:

@@ -100,6 +100,14 @@ class SGL(LightGCN):
             views.append(per_layer)
         self._view_adjs = views
 
+    def get_extra_state(self) -> dict:
+        """The augmentation RNG position — without it a resumed run would
+        re-sample different graph views than the uninterrupted one."""
+        return {"aug_rng": self._aug_rng.bit_generator.state}
+
+    def set_extra_state(self, state: dict) -> None:
+        self._aug_rng.bit_generator.state = state["aug_rng"]
+
     def _propagate_view(self, adjacencies) -> Tensor:
         ego = concat(
             [self.user_embedding.all(), self.item_embedding.all()], axis=0

@@ -15,6 +15,15 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import testing
+from ..ckpt import (
+    CheckpointError,
+    CheckpointManager,
+    config_fingerprint,
+    resolve_resume,
+    rng_state,
+    set_rng_state,
+)
 from ..data.sampling import BPRSampler
 from ..data.split import Split
 from ..eval.evaluator import Evaluator
@@ -45,6 +54,17 @@ class TrainConfig:
     detect_anomaly: bool = False
     """Run training under :class:`repro.nn.detect_anomaly`: NaN/Inf on
     the tape raises at the creating op instead of poisoning the run."""
+    checkpoint_dir: Optional[str] = None
+    """Directory for :mod:`repro.ckpt` snapshots; ``None`` disables
+    checkpointing entirely."""
+    checkpoint_every: int = 1
+    """Snapshot every N epochs at the epoch boundary."""
+    keep_last: int = 3
+    """Rolling retention: newest snapshots kept (plus best-by-metric)."""
+    resume_from: Optional[str] = None
+    """``"auto"`` resumes from the newest valid snapshot under
+    ``checkpoint_dir`` (fresh start when there is none); a path loads
+    that checkpoint file or directory explicitly."""
 
     def __post_init__(self) -> None:
         if self.lr_schedule not in (None, "cosine", "step"):
@@ -109,15 +129,81 @@ def _fit_bpr(
             optimizer, step_size=max(config.epochs // 3, 1), gamma=0.5
         )
 
+    manager = None
+    if config.checkpoint_dir is not None:
+        manager = CheckpointManager(
+            config.checkpoint_dir, keep_last=config.keep_last
+        )
+    fingerprint = config_fingerprint(
+        config, {"kind": "bpr", "model": type(model).__name__}
+    )
+
     best_metric = -np.inf
     best_epoch = -1
     best_state = None
     bad_evals = 0
     history: List[dict] = []
     start = time.time()
+    step = 0
     epochs_run = 0
+    start_epoch = 0
 
-    for epoch in range(config.epochs):
+    resumed = resolve_resume(config.resume_from, manager)
+    if resumed is not None:
+        if resumed.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                "checkpoint/config mismatch: the snapshot was written under "
+                f"fingerprint {resumed.get('fingerprint')!r} but this run "
+                f"has {fingerprint!r}; resume with the same optimisation "
+                "settings (the epoch budget may differ)"
+            )
+        model.load_state_dict(resumed["model"])
+        if resumed.get("model_extra") is not None:
+            model.set_extra_state(resumed["model_extra"])
+        optimizer.load_state_dict(resumed["optimizer"])
+        if scheduler is not None and resumed["scheduler"] is not None:
+            scheduler.load_state_dict(resumed["scheduler"])
+        set_rng_state(rng, resumed["rng"])
+        sampler.load_state_dict(resumed["sampler"])
+        best = resumed["best"]
+        best_metric = -np.inf if best["metric"] is None else best["metric"]
+        best_epoch = best["epoch"]
+        best_state = best["state"]
+        bad_evals = best["bad_evals"]
+        history = list(resumed["history"])
+        step = resumed["step"]
+        epochs_run = resumed["epochs_run"]
+        start_epoch = resumed["epoch"]
+        model.begin_step()
+
+    def snapshot(next_epoch: int) -> dict:
+        """Full training state at an epoch boundary (bit-exact)."""
+        return {
+            "version": 1,
+            "kind": "bpr",
+            "fingerprint": fingerprint,
+            "epoch": next_epoch,
+            "step": step,
+            "epochs_run": epochs_run,
+            "model": model.state_dict(),
+            "model_extra": (
+                model.get_extra_state()
+                if hasattr(model, "get_extra_state") else None
+            ),
+            "optimizer": optimizer.state_dict(),
+            "scheduler": None if scheduler is None else scheduler.state_dict(),
+            "rng": rng_state(rng),
+            "sampler": sampler.state_dict(),
+            "best": {
+                "metric": None if best_state is None else float(best_metric),
+                "epoch": best_epoch,
+                "state": best_state,
+                "bad_evals": bad_evals,
+            },
+            "history": history,
+        }
+
+    for epoch in range(start_epoch, config.epochs):
         epochs_run = epoch + 1
         model.train()
         model.refresh_epoch(epoch)
@@ -136,6 +222,8 @@ def _fit_bpr(
             optimizer.step()
             epoch_loss += loss.item()
             num_batches += 1
+            step += 1
+            testing.check(testing.TRAINER_STEP)
         if scheduler is not None:
             scheduler.step()
 
@@ -161,6 +249,13 @@ def _fit_bpr(
                     history.append(record)
                     break
         history.append(record)
+        if manager is not None and (epoch + 1) % config.checkpoint_every == 0:
+            manager.save(
+                snapshot(next_epoch=epoch + 1),
+                step=step,
+                metric=record.get(metric_key),
+            )
+        testing.check(testing.TRAINER_EPOCH)
 
     if best_state is not None:
         model.load_state_dict(best_state)

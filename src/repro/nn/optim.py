@@ -6,11 +6,29 @@ weight decay both ``1e-3``).  SGD is provided for tests and ablations.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from .module import Parameter
+
+
+def _load_buffers(
+    target: List[np.ndarray], source: List[np.ndarray], name: str
+) -> None:
+    """Copy saved per-parameter buffers in place, validating layout."""
+    if len(source) != len(target):
+        raise ValueError(
+            f"optimizer state mismatch: {len(source)} saved {name} buffers "
+            f"for {len(target)} parameters"
+        )
+    for slot, array in zip(target, source):
+        if slot.shape != np.shape(array):
+            raise ValueError(
+                f"optimizer state mismatch: {name} buffer shape "
+                f"{np.shape(array)} vs parameter shape {slot.shape}"
+            )
+        slot[...] = array
 
 
 class Optimizer:
@@ -28,6 +46,22 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Internal optimisation state (moments, counters, current lr).
+
+        Together with the parameters themselves this makes an optimiser
+        fully resumable: ``load_state_dict`` continues the exact update
+        sequence the snapshot interrupted.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict` (same layout)."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} has no state to load, got {sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -60,6 +94,18 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        """Momentum buffers plus the (possibly scheduled) learning rate."""
+        return {
+            "lr": self.lr,
+            "velocity": [vel.copy() for vel in self._velocity],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore momentum buffers saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        _load_buffers(self._velocity, list(state["velocity"]), "velocity")
 
 
 class Adam(Optimizer):
@@ -107,3 +153,23 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        """First/second moments, step count, and current learning rate.
+
+        The step count drives bias correction, so restoring it is what
+        makes a resumed Adam trajectory bit-exact.
+        """
+        return {
+            "lr": self.lr,
+            "step": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore moments and step count saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step"])
+        _load_buffers(self._m, list(state["m"]), "m")
+        _load_buffers(self._v, list(state["v"]), "v")

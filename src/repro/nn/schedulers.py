@@ -31,6 +31,19 @@ class Scheduler:
     def compute_lr(self, epoch: int) -> float:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Schedule position (epoch counter + base rate) for checkpoints.
+
+        The optimiser's *current* rate travels in the optimiser's own
+        state dict; restoring both resumes the schedule exactly.
+        """
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the position saved by :meth:`state_dict`."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+
 
 class StepDecay(Scheduler):
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""

@@ -1,0 +1,38 @@
+"""Fault-injection test harness (crash points and I/O fault proxies).
+
+Lets tests simulate a process dying at step/epoch boundaries or in the
+middle of a checkpoint write, and torn/garbled file writes — the
+scenarios the :mod:`repro.ckpt` subsystem must survive.  All hooks are
+no-ops unless a fault is armed, so production code can call them
+unconditionally.
+"""
+
+from .faults import (
+    CKPT_AFTER_REPLACE,
+    CKPT_BEFORE_REPLACE,
+    CKPT_MANIFEST_WRITE,
+    CKPT_PAYLOAD_WRITE,
+    TRAINER_EPOCH,
+    TRAINER_STEP,
+    CrashPoint,
+    FaultyWrites,
+    SimulatedCrash,
+    check,
+    filter_bytes,
+    reset,
+)
+
+__all__ = [
+    "CKPT_AFTER_REPLACE",
+    "CKPT_BEFORE_REPLACE",
+    "CKPT_MANIFEST_WRITE",
+    "CKPT_PAYLOAD_WRITE",
+    "CrashPoint",
+    "FaultyWrites",
+    "SimulatedCrash",
+    "TRAINER_EPOCH",
+    "TRAINER_STEP",
+    "check",
+    "filter_bytes",
+    "reset",
+]

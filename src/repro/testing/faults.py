@@ -1,0 +1,183 @@
+"""Fault-injection primitives for crash/corruption testing.
+
+Production code exposes *fault sites* — named points where a crash or
+an I/O corruption may be injected — by calling :func:`check` (crash
+sites) or routing write payloads through :func:`filter_bytes` (I/O
+sites).  Both are no-ops costing one attribute load and one truthiness
+test unless a fault is armed, so the hooks are safe on hot paths.
+
+Faults are armed with context managers:
+
+- :class:`CrashPoint` raises :class:`SimulatedCrash` (or a custom
+  exception) the ``at``-th time a named site is hit, simulating a
+  process dying at a step/epoch boundary or mid-checkpoint-write;
+- :class:`FaultyWrites` truncates or garbles the bytes of the
+  ``at``-th write routed through a named I/O site, simulating torn
+  writes and disk corruption.
+
+Arming is process-local and intended for tests; see
+``tests/core/test_resume.py`` for usage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+import numpy as np
+
+# Fault-site names used by the shipped code (kept here so tests and
+# production agree on the spelling).
+TRAINER_STEP = "trainer:step"
+TRAINER_EPOCH = "trainer:epoch"
+CKPT_BEFORE_REPLACE = "ckpt:before-replace"
+CKPT_AFTER_REPLACE = "ckpt:after-replace"
+CKPT_PAYLOAD_WRITE = "ckpt:payload-write"
+CKPT_MANIFEST_WRITE = "ckpt:manifest-write"
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by an armed :class:`CrashPoint`; stands in for SIGKILL."""
+
+
+_CRASH_POINTS: Dict[str, List["CrashPoint"]] = {}
+_WRITE_FAULTS: Dict[str, List["FaultyWrites"]] = {}
+
+
+class CrashPoint:
+    """Context manager that raises when a named fault site is hit.
+
+    Args:
+        point: fault-site name (e.g. :data:`TRAINER_EPOCH`).
+        at: which hit triggers the crash, 1-based; earlier hits pass
+            through untouched.
+        exc: exception type to raise (default :class:`SimulatedCrash`).
+
+    The instance records ``hits`` and ``triggered`` so tests can assert
+    the site was actually reached.
+    """
+
+    def __init__(
+        self, point: str, at: int = 1, exc: Type[BaseException] = SimulatedCrash
+    ) -> None:
+        if at < 1:
+            raise ValueError(f"at must be >= 1, got {at}")
+        self.point = point
+        self.at = at
+        self.exc = exc
+        self.hits = 0
+        self.triggered = False
+
+    def __enter__(self) -> "CrashPoint":
+        _CRASH_POINTS.setdefault(self.point, []).append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        listeners = _CRASH_POINTS.get(self.point, [])
+        if self in listeners:
+            listeners.remove(self)
+        if not listeners and self.point in _CRASH_POINTS:
+            del _CRASH_POINTS[self.point]
+
+    def _hit(self) -> None:
+        self.hits += 1
+        if self.hits == self.at:
+            self.triggered = True
+            raise self.exc(
+                f"simulated crash at fault site {self.point!r} (hit {self.hits})"
+            )
+
+
+def check(point: str) -> None:
+    """Trigger any :class:`CrashPoint` armed on ``point``.
+
+    Called by production code at crash sites; a no-op unless a test has
+    armed a fault there.
+    """
+    if not _CRASH_POINTS:
+        return
+    for listener in list(_CRASH_POINTS.get(point, ())):
+        listener._hit()
+
+
+class FaultyWrites:
+    """Context manager corrupting the bytes of a named I/O site.
+
+    Args:
+        site: I/O fault-site name (e.g. :data:`CKPT_PAYLOAD_WRITE`).
+        mode: ``"truncate"`` keeps only the leading ``fraction`` of the
+            payload; ``"garble"`` XOR-scrambles a ``fraction``-sized
+            slice in the middle of the payload.
+        at: which write through the site is corrupted, 1-based; other
+            writes pass through untouched.
+        fraction: how much of the payload to keep (truncate) or scramble
+            (garble).
+        seed: RNG seed for the garble noise, so tests are repeatable.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        mode: str = "truncate",
+        at: int = 1,
+        fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("truncate", "garble"):
+            raise ValueError(f"mode must be 'truncate' or 'garble', got {mode!r}")
+        if at < 1:
+            raise ValueError(f"at must be >= 1, got {at}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.site = site
+        self.mode = mode
+        self.at = at
+        self.fraction = fraction
+        self.seed = seed
+        self.writes_seen = 0
+        self.corrupted = False
+
+    def __enter__(self) -> "FaultyWrites":
+        _WRITE_FAULTS.setdefault(self.site, []).append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        listeners = _WRITE_FAULTS.get(self.site, [])
+        if self in listeners:
+            listeners.remove(self)
+        if not listeners and self.site in _WRITE_FAULTS:
+            del _WRITE_FAULTS[self.site]
+
+    def _apply(self, data: bytes) -> bytes:
+        self.writes_seen += 1
+        if self.writes_seen != self.at:
+            return data
+        self.corrupted = True
+        if self.mode == "truncate":
+            return data[: int(len(data) * self.fraction)]
+        noise_len = max(int(len(data) * self.fraction), 1)
+        start = (len(data) - noise_len) // 2
+        rng = np.random.default_rng(self.seed)
+        buffer = bytearray(data)
+        noise = rng.integers(1, 256, size=noise_len, dtype=np.uint8)
+        chunk = np.frombuffer(bytes(buffer[start : start + noise_len]), np.uint8)
+        buffer[start : start + noise_len] = (chunk ^ noise).tobytes()
+        return bytes(buffer)
+
+
+def filter_bytes(site: str, data: bytes) -> bytes:
+    """Route a write payload through any armed :class:`FaultyWrites`.
+
+    Production code calls this on the bytes it is about to write; the
+    identity function unless a test armed a fault on ``site``.
+    """
+    if not _WRITE_FAULTS:
+        return data
+    for fault in list(_WRITE_FAULTS.get(site, ())):
+        data = fault._apply(data)
+    return data
+
+
+def reset() -> None:
+    """Disarm every fault (test-teardown safety net)."""
+    _CRASH_POINTS.clear()
+    _WRITE_FAULTS.clear()

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import load_model, save_model
+from repro.bench import MODEL_BUILDERS
 from repro.core import IMCAT, IMCATConfig
 from repro.models import BPRMF, LightGCN
 
@@ -95,6 +98,85 @@ class TestSaveLoad:
         np.testing.assert_allclose(
             model.all_scores(np.array([2])), other.all_scores(np.array([2]))
         )
+
+
+class TestPathNormalization:
+    """Regressions for the double-suffix / exists-ordering bugs: the old
+    helpers appended ``.npz`` without checking whether it was already
+    there, so ``save_model(m, "w.npz")`` + ``load_model(m, "w.npz.npz")``
+    silently missed the file (np.savez had written ``w.npz``)."""
+
+    def _model(self, small_dataset):
+        return BPRMF(
+            small_dataset.num_users, small_dataset.num_items, 8,
+            np.random.default_rng(0),
+        )
+
+    def test_save_returns_single_suffix_path(self, small_dataset, tmp_path):
+        model = self._model(small_dataset)
+        written = save_model(model, str(tmp_path / "w"))
+        assert written == str(tmp_path / "w.npz")
+        assert os.path.exists(written)
+
+    def test_load_tolerates_doubled_suffix(self, small_dataset, tmp_path):
+        model = self._model(small_dataset)
+        save_model(model, str(tmp_path / "w.npz"))
+        load_model(self._model(small_dataset), str(tmp_path / "w.npz.npz"))
+
+    def test_save_collapses_doubled_suffix(self, small_dataset, tmp_path):
+        model = self._model(small_dataset)
+        written = save_model(model, str(tmp_path / "w.npz.npz"))
+        assert written == str(tmp_path / "w.npz")
+        assert os.listdir(tmp_path) == ["w.npz"]
+
+    def test_legacy_bare_named_file_still_loads(self, small_dataset, tmp_path):
+        # Archives written before normalisation may sit under the bare
+        # name; the literal spelling must keep working.
+        model = self._model(small_dataset)
+        written = save_model(model, str(tmp_path / "legacy"))
+        os.rename(written, str(tmp_path / "legacy"))
+        load_model(self._model(small_dataset), str(tmp_path / "legacy"))
+
+    def test_missing_file_raises_with_normalized_name(
+        self, small_dataset, tmp_path
+    ):
+        with pytest.raises(FileNotFoundError):
+            load_model(self._model(small_dataset), str(tmp_path / "absent"))
+
+
+class TestAllModelsRoundtrip:
+    """Every registered model must survive save -> fresh construct ->
+    load with bit-identical scores."""
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_roundtrip_preserves_scores(
+        self, name, small_dataset, small_split, tmp_path
+    ):
+        builder = MODEL_BUILDERS[name]
+        model = builder(small_dataset, small_split, 8, np.random.default_rng(0))
+        users = np.arange(min(4, small_dataset.num_users))
+        expected = model.all_scores(users)
+        path = save_model(model, str(tmp_path / f"{name}.npz"))
+
+        fresh = builder(small_dataset, small_split, 8, np.random.default_rng(9))
+        load_model(fresh, path)
+        np.testing.assert_array_equal(expected, fresh.all_scores(users))
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_load_overwrites_scrambled_params(
+        self, name, small_dataset, small_split, tmp_path
+    ):
+        builder = MODEL_BUILDERS[name]
+        model = builder(small_dataset, small_split, 8, np.random.default_rng(0))
+        users = np.arange(min(4, small_dataset.num_users))
+        expected = model.all_scores(users)
+        path = save_model(model, str(tmp_path / f"{name}.npz"))
+
+        noise = np.random.default_rng(123)
+        for param in model.parameters():
+            param.data += noise.normal(scale=0.5, size=param.data.shape)
+        load_model(model, path)
+        np.testing.assert_array_equal(expected, model.all_scores(users))
 
 
 class TestRecommendHelper:

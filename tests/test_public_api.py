@@ -10,7 +10,8 @@ import pytest
 import repro
 
 SUBPACKAGES = ["repro.nn", "repro.data", "repro.models", "repro.core",
-               "repro.eval", "repro.bench", "repro.perf"]
+               "repro.eval", "repro.bench", "repro.perf", "repro.ckpt",
+               "repro.testing"]
 
 
 class TestExports:
