@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -38,3 +38,11 @@ train-resume:
 		--scale 0.02 --epochs 8 --batch-size 256 \
 		--checkpoint-dir .ckpt-smoke --resume
 	rm -rf .ckpt-smoke
+
+# Serving smoke: train a tiny model, answer a request stream with crash
+# and latency chaos injected mid-run, and fail unless every request was
+# answered (degraded, never erroring) and the breaker opened + recovered.
+serve-smoke:
+	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 2 --batch-size 256 \
+		--requests 40 --deadline-ms 50 --chaos

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Persist a trained model and serve explained recommendations.
+"""Persist a trained model and serve it through the resilient layer.
 
 The downstream-adoption workflow: train once, save the weights, reload
-into a fresh process, and answer top-N queries with intent-level
-explanations — without retraining.
+into a fresh process, and answer top-N queries behind ``repro.serve`` —
+deadlines, a circuit breaker, and a degradation ladder — with
+intent-level explanations on the live answers.  Midway the example
+injects a scoring outage to show the ladder degrade (stale cache, then
+popularity) and recover, without a single request erroring.
 
 Run:  python examples/save_load_serve.py
 """
@@ -12,10 +15,11 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 
 import numpy as np
 
-from repro import load_model, save_model
+from repro import load_model, save_model, testing
 from repro.core import (
     IMCAT,
     IMCATConfig,
@@ -27,6 +31,7 @@ from repro.core import (
 from repro.data import generate_preset, split_dataset
 from repro.eval import evaluate_diversity
 from repro.models import LightGCN
+from repro.serve import CircuitBreaker, RecommendationService, RetryPolicy
 
 
 def build(dataset, split, seed=3):
@@ -39,6 +44,22 @@ def build(dataset, split, seed=3):
         backbone, dataset, split.train,
         IMCATConfig(num_intents=4, pretrain_epochs=5), rng=rng,
     )
+
+
+def show_response(response, served=None):
+    print(
+        f"  level={response.level:<10s} breaker={response.breaker_state:<9s} "
+        f"retries={response.retries} items={response.items.tolist()}"
+    )
+    if served is not None and response.level == "live":
+        for rank, item in enumerate(response.items[:3], start=1):
+            explanation = explain_pair(served, response.user, int(item))
+            print(
+                f"    {rank}. item {int(item):4d}  "
+                f"score={explanation.total_score:+.3f}  "
+                f"dominant intent={explanation.dominant_intent} "
+                f"(share {explanation.shares().max():.0%})"
+            )
 
 
 def main() -> None:
@@ -67,18 +88,35 @@ def main() -> None:
     )
     print(f"reloaded model scores identical: {consistent}")
 
-    # --- serve ----------------------------------------------------------
+    # --- serve behind the resilient layer ------------------------------
+    service = RecommendationService.from_model(
+        served, split.train,
+        default_top_n=5,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        breaker=CircuitBreaker(failure_threshold=2, recovery_time=0.2),
+    )
     user = 3
     train_items = set(split.train.items_of_user()[user].tolist())
-    recommendations = served.backbone.recommend(user, top_n=5, exclude=train_items)
-    print(f"\ntop-5 for user {user} (with intent attribution):")
-    for rank, item in enumerate(recommendations, start=1):
-        explanation = explain_pair(served, user, int(item))
-        print(
-            f"  {rank}. item {int(item):4d}  score={explanation.total_score:+.3f}  "
-            f"dominant intent={explanation.dominant_intent} "
-            f"(share {explanation.shares().max():.0%})"
-        )
+
+    print(f"\ntop-5 for user {user}, live (with intent attribution):")
+    show_response(service.recommend(user, exclude=train_items), served)
+
+    # Simulated outage: every hit on the serve:score fault site raises.
+    # The service answers anyway — first from the stale cache (the live
+    # response above), and for never-seen users from popularity.
+    print("\nscoring outage injected (serve:score armed):")
+    with testing.CrashPoint(testing.SERVE_SCORE, at=1, every=1):
+        show_response(service.recommend(user, exclude=train_items))
+        show_response(service.recommend(user + 1))  # cold: popularity rung
+        show_response(service.recommend(user, exclude=train_items))
+    print(f"health during outage: {service.health()['status']}")
+
+    time.sleep(0.25)  # let the breaker reach half-open
+    print("\noutage over — breaker probes and recovers:")
+    show_response(service.recommend(user, exclude=train_items), served)
+    health = service.health()
+    print(f"health after recovery: {health['status']} "
+          f"(breaker={health['breaker']})")
 
     print("\ntag clusters anchoring the intents:")
     for summary in cluster_summary(served, top=4):

@@ -12,7 +12,10 @@ Subpackages:
 - :mod:`repro.ckpt` — fault-tolerant checkpoint/resume (atomic rolling
   snapshots of the full training state, bit-exact continuation);
 - :mod:`repro.testing` — fault-injection harness (crash points, I/O
-  fault proxies) exercising the checkpoint subsystem;
+  fault proxies, latency injection) exercising the checkpoint and
+  serving subsystems;
+- :mod:`repro.serve` — resilient online serving (deadlines, circuit
+  breaker, degradation ladder, validated hot reload);
 - :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
 
@@ -32,10 +35,10 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import bench, ckpt, core, data, eval, models, nn, perf, testing  # noqa: F401
+from . import bench, ckpt, core, data, eval, models, nn, perf, serve, testing  # noqa: F401
 from .io import load_model, save_model
 
 __all__ = [
     "bench", "ckpt", "core", "data", "eval", "load_model", "models",
-    "nn", "perf", "save_model", "testing", "__version__",
+    "nn", "perf", "save_model", "serve", "testing", "__version__",
 ]

@@ -94,6 +94,13 @@ class IMCAT(Module):
     def all_scores(self, users: np.ndarray) -> np.ndarray:
         return self.backbone.all_scores(users)
 
+    def recommend(
+        self, user: int, top_n: int = 20, exclude: Optional[set] = None
+    ) -> np.ndarray:
+        """Top-``top_n`` items for one user (delegates to the backbone),
+        so an IMCAT wrapper can sit directly behind :mod:`repro.serve`."""
+        return self.backbone.recommend(user, top_n=top_n, exclude=exclude)
+
     def begin_step(self) -> None:
         self.backbone.begin_step()
 

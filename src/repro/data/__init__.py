@@ -9,7 +9,13 @@ from .analysis import (
     gini_coefficient,
     head_share,
 )
-from .cache import cached_generate, load_dataset_file, save_dataset
+from .cache import (
+    DatasetCacheError,
+    cached_generate,
+    dataset_fingerprint,
+    load_dataset_file,
+    save_dataset,
+)
 from .dataset import TagRecDataset
 from .loaders import (
     available_datasets,
@@ -49,6 +55,7 @@ from .synthetic import (
 __all__ = [
     "BPRSampler",
     "DATASET_ORDER",
+    "DatasetCacheError",
     "DatasetStatistics",
     "DegreeReport",
     "IndexCycler",
@@ -68,6 +75,7 @@ __all__ = [
     "binarize_ratings",
     "cached_generate",
     "compute_statistics",
+    "dataset_fingerprint",
     "fit_power_law",
     "generate",
     "generate_preset",

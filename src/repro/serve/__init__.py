@@ -1,0 +1,73 @@
+"""Resilient online serving for trained recommenders.
+
+A hardened request layer over any :class:`repro.models.base.Recommender`
+(IMCAT wrappers included — the method is model-agnostic, so one serving
+stack covers every registered backbone):
+
+- :class:`RecommendationService` — per-request deadlines, bounded retry
+  with exponential backoff + jitter, a circuit breaker around live
+  scoring, and a graceful-degradation ladder (live → stale cache →
+  popularity) so requests are answered even while the model is broken;
+- :class:`CheckpointModelProvider` — hot reload from a
+  :mod:`repro.ckpt` directory with checksum + config-fingerprint
+  validation and a post-swap canary probe that rolls a bad candidate
+  back;
+- health/readiness probes and ``serve.*`` perf counters for operational
+  visibility;
+- ``python -m repro.serve`` — train-and-serve demo CLI with a ``--chaos``
+  mode that injects crashes/latency and asserts degraded-but-answered
+  behaviour (the ``make serve-smoke`` gate).
+
+Chaos behaviour is pinned by ``tests/serve/`` using the fault sites
+``serve:score`` and ``serve:reload`` from :mod:`repro.testing`.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpen
+from .cache import TTLCache
+from .provider import (
+    REJECTED,
+    RELOADED,
+    ROLLED_BACK,
+    UNCHANGED,
+    CheckpointModelProvider,
+    ModelUnavailable,
+    StaticModelProvider,
+    default_restore,
+)
+from .service import (
+    LEVEL_LIVE,
+    LEVEL_POPULARITY,
+    LEVEL_STALE,
+    LEVELS,
+    Deadline,
+    DeadlineExceeded,
+    RecommendationService,
+    RetryPolicy,
+    ServeResponse,
+)
+
+__all__ = [
+    "CLOSED",
+    "CheckpointModelProvider",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "HALF_OPEN",
+    "LEVELS",
+    "LEVEL_LIVE",
+    "LEVEL_POPULARITY",
+    "LEVEL_STALE",
+    "ModelUnavailable",
+    "OPEN",
+    "REJECTED",
+    "RELOADED",
+    "ROLLED_BACK",
+    "RecommendationService",
+    "RetryPolicy",
+    "ServeResponse",
+    "StaticModelProvider",
+    "TTLCache",
+    "UNCHANGED",
+    "default_restore",
+]

@@ -1,0 +1,85 @@
+"""TTL'd LRU cache holding the last good response per user.
+
+Second rung of the degradation ladder: when live scoring fails (error,
+deadline, open breaker) the service re-serves the user's most recent
+successful recommendation list, as long as it is younger than the TTL.
+Stale beats wrong-for-everyone (the popularity rung) because it is still
+personalised.
+
+Bounded by entry count with least-recently-*used* eviction; expiry is
+lazy (checked on read) plus an explicit :meth:`purge_expired` sweep so
+the health probe can report an honest entry count.  The clock is
+injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+
+class TTLCache:
+    """LRU cache whose entries expire ``ttl`` seconds after insertion.
+
+    Args:
+        max_entries: capacity; the least recently used entry is evicted
+            when full.
+        ttl: seconds an entry stays servable after :meth:`put`.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key`` (restarts its TTL, marks it fresh)."""
+        self._entries[key] = (self._clock() + self.ttl, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` when absent or expired.
+
+        A hit refreshes LRU recency (not the TTL); an expired entry is
+        dropped on sight.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        expires, value = entry
+        if self._clock() >= expires:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        now = self._clock()
+        stale = [key for key, (expires, _) in self._entries.items() if now >= expires]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key) is not None

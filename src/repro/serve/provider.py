@@ -1,0 +1,254 @@
+"""Model providers: where the serving layer gets its live model from.
+
+:class:`StaticModelProvider` pins one in-memory model (tests, demos,
+embedded use).  :class:`CheckpointModelProvider` watches a
+:mod:`repro.ckpt` checkpoint directory and hot-reloads newer snapshots
+without a restart, with a promotion gate a candidate must clear before
+it replaces the live model:
+
+1. **checksum** — the payload bytes must match the SHA-256 the manifest
+   recorded at save time (a torn or bit-rotted candidate is refused);
+2. **config fingerprint** — the snapshot's optimisation fingerprint
+   must match the one pinned by the first successful load, so a
+   checkpoint from a differently-configured run cannot silently swap
+   into a serving process expecting another architecture;
+3. **canary probe** — after the swap, the candidate must answer a real
+   ``recommend`` call with a valid, in-range, finite top-N; a failing
+   canary rolls the previous model back.
+
+Every outcome is reported (``reloaded`` / ``unchanged`` / ``rejected``
+/ ``rolled_back``) so the service can count reload health, and a bad
+candidate never takes down serving: the previous model keeps answering.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .. import testing
+from ..ckpt import CheckpointManager, checksum, decode_state
+
+#: Poll outcomes (also used as `serve.reload.*` counter suffixes).
+RELOADED = "reloaded"
+UNCHANGED = "unchanged"
+REJECTED = "rejected"
+ROLLED_BACK = "rolled_back"
+
+
+class ModelUnavailable(RuntimeError):
+    """The provider has no usable model yet (service stays unready)."""
+
+
+def default_restore(model: Any, state: dict) -> Any:
+    """Load a trainer snapshot's inference state into a fresh model.
+
+    Restores parameters (``state["model"]``), any non-parameter extra
+    state the model wrote (IMCAT tag clusters, SSL augmentation RNG),
+    and rebuilds parameter-derived caches via ``refresh_epoch`` —
+    mirroring :func:`repro.io.load_model` for the checkpoint layout.
+    """
+    model.load_state_dict(state["model"])
+    extra = state.get("model_extra")
+    if extra is not None and hasattr(model, "set_extra_state"):
+        model.set_extra_state(extra)
+    if hasattr(model, "refresh_epoch"):
+        model.refresh_epoch(0)
+    if hasattr(model, "eval"):
+        model.eval()
+    return model
+
+
+class StaticModelProvider:
+    """Serve one fixed in-memory model (no reload)."""
+
+    def __init__(self, model: Any, version: str = "static") -> None:
+        self._model = model
+        self._version = version
+
+    def model(self) -> Any:
+        if self._model is None:
+            raise ModelUnavailable("no model loaded")
+        return self._model
+
+    def ready(self) -> bool:
+        return self._model is not None
+
+    def version(self) -> str:
+        return self._version
+
+    def poll(self) -> str:
+        """Static providers never change."""
+        return UNCHANGED
+
+
+class CheckpointModelProvider:
+    """Hot-reloading provider backed by a ``repro.ckpt`` directory.
+
+    Args:
+        directory: checkpoint directory (manifest + payloads) written by
+            a trainer's ``checkpoint_dir``.
+        builder: zero-argument callable returning a *fresh* untrained
+            model instance of the architecture being served.
+        restore: ``(model, state) -> model`` hook loading a decoded
+            snapshot into the fresh instance (default
+            :func:`default_restore`).
+        canary_user: user index the post-swap canary probe scores.
+        canary_top_n: list length the canary requests.
+        expected_fingerprint: pin the config fingerprint up front;
+            ``None`` pins it from the first successfully-loaded
+            snapshot.
+
+    ``poll()`` never raises for candidate problems — a bad snapshot is
+    refused (or rolled back) with a warning and the live model keeps
+    serving.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        builder: Callable[[], Any],
+        restore: Callable[[Any, dict], Any] = default_restore,
+        canary_user: int = 0,
+        canary_top_n: int = 5,
+        expected_fingerprint: Optional[str] = None,
+    ) -> None:
+        self.directory = directory
+        self._builder = builder
+        self._restore = restore
+        self.canary_user = canary_user
+        self.canary_top_n = canary_top_n
+        self._fingerprint = expected_fingerprint
+        self._model: Optional[Any] = None
+        self._step: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # provider protocol
+    # ------------------------------------------------------------------
+    def model(self) -> Any:
+        if self._model is None:
+            raise ModelUnavailable(
+                f"no valid checkpoint loaded yet from {self.directory!r} "
+                f"(call poll() after the first snapshot lands)"
+            )
+        return self._model
+
+    def ready(self) -> bool:
+        return self._model is not None
+
+    def version(self) -> str:
+        return "unloaded" if self._step is None else f"ckpt-step-{self._step}"
+
+    @property
+    def step(self) -> Optional[int]:
+        """Training step of the live snapshot (``None`` before a load)."""
+        return self._step
+
+    # ------------------------------------------------------------------
+    # reload
+    # ------------------------------------------------------------------
+    def poll(self) -> str:
+        """Check for a newer snapshot and try to promote it.
+
+        Returns one of :data:`RELOADED`, :data:`UNCHANGED`,
+        :data:`REJECTED` (candidate failed validation before the swap),
+        or :data:`ROLLED_BACK` (candidate failed the post-swap canary
+        and the previous model was restored).
+        """
+        entry = self._newest_entry()
+        if entry is None:
+            return UNCHANGED
+        if self._step is not None and int(entry["step"]) <= self._step:
+            return UNCHANGED
+        path = os.path.join(self.directory, entry["file"])
+
+        # Gate 1+2: checksum and fingerprint validation, then build.
+        try:
+            candidate, state = self._validate_and_build(path, entry)
+        except _CandidateRejected as err:
+            warnings.warn(
+                f"refusing checkpoint {path!r}: {err}; "
+                f"keeping {self.version()}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return REJECTED
+
+        # Gate 3: swap in, then canary-probe the live slot; roll back on
+        # any failure so a model that loads but cannot answer never
+        # serves traffic.
+        previous_model, previous_step = self._model, self._step
+        self._model, self._step = candidate, int(entry["step"])
+        try:
+            self._canary(candidate)
+        except Exception as err:  # canary must never kill serving
+            self._model, self._step = previous_model, previous_step
+            warnings.warn(
+                f"canary probe failed for checkpoint {path!r} ({err}); "
+                f"rolled back to {self.version()}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ROLLED_BACK
+        if self._fingerprint is None:
+            self._fingerprint = state.get("fingerprint")
+        return RELOADED
+
+    def _newest_entry(self) -> Optional[dict]:
+        if not os.path.isdir(self.directory):
+            return None
+        entries = CheckpointManager(self.directory).entries()
+        return entries[-1] if entries else None
+
+    def _validate_and_build(self, path: str, entry: dict):
+        try:
+            testing.check(testing.SERVE_RELOAD)
+            testing.delay(testing.SERVE_RELOAD)
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except Exception as err:
+            raise _CandidateRejected(f"unreadable payload ({err})") from err
+        expected = entry.get("sha256")
+        if expected is not None and checksum(data) != expected:
+            raise _CandidateRejected(
+                "checksum mismatch against the manifest (torn write or "
+                "bit rot)"
+            )
+        try:
+            state = decode_state(data)
+        except Exception as err:
+            raise _CandidateRejected(f"undecodable payload ({err})") from err
+        if not isinstance(state, dict) or "model" not in state:
+            raise _CandidateRejected("snapshot carries no model state")
+        fingerprint = state.get("fingerprint")
+        if self._fingerprint is not None and fingerprint != self._fingerprint:
+            raise _CandidateRejected(
+                f"config fingerprint {fingerprint!r} does not match the "
+                f"pinned serving fingerprint {self._fingerprint!r}"
+            )
+        try:
+            candidate = self._restore(self._builder(), state)
+        except Exception as err:
+            raise _CandidateRejected(f"restore failed ({err})") from err
+        return candidate, state
+
+    def _canary(self, model: Any) -> None:
+        """One real scoring request; raises when the answer is unusable."""
+        items = model.recommend(self.canary_user, top_n=self.canary_top_n)
+        items = np.asarray(items)
+        if items.size == 0:
+            raise ValueError("canary returned an empty recommendation list")
+        if not np.issubdtype(items.dtype, np.integer):
+            raise ValueError(f"canary returned non-integer items ({items.dtype})")
+        num_items = getattr(model, "num_items", None)
+        if num_items is not None and (
+            items.min() < 0 or items.max() >= num_items
+        ):
+            raise ValueError("canary returned out-of-range item indices")
+
+
+class _CandidateRejected(RuntimeError):
+    """Internal: candidate snapshot failed pre-swap validation."""

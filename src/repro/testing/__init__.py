@@ -1,10 +1,10 @@
-"""Fault-injection test harness (crash points and I/O fault proxies).
+"""Fault-injection test harness (crash points, I/O and latency proxies).
 
 Lets tests simulate a process dying at step/epoch boundaries or in the
-middle of a checkpoint write, and torn/garbled file writes — the
-scenarios the :mod:`repro.ckpt` subsystem must survive.  All hooks are
-no-ops unless a fault is armed, so production code can call them
-unconditionally.
+middle of a checkpoint write, torn/garbled file writes, and slow
+backends — the scenarios the :mod:`repro.ckpt` and :mod:`repro.serve`
+subsystems must survive.  All hooks are no-ops unless a fault is armed,
+so production code can call them unconditionally.
 """
 
 from .faults import (
@@ -12,12 +12,17 @@ from .faults import (
     CKPT_BEFORE_REPLACE,
     CKPT_MANIFEST_WRITE,
     CKPT_PAYLOAD_WRITE,
+    DATA_CACHE_WRITE,
+    SERVE_RELOAD,
+    SERVE_SCORE,
     TRAINER_EPOCH,
     TRAINER_STEP,
     CrashPoint,
     FaultyWrites,
+    Latency,
     SimulatedCrash,
     check,
+    delay,
     filter_bytes,
     reset,
 )
@@ -28,11 +33,16 @@ __all__ = [
     "CKPT_MANIFEST_WRITE",
     "CKPT_PAYLOAD_WRITE",
     "CrashPoint",
+    "DATA_CACHE_WRITE",
     "FaultyWrites",
+    "Latency",
+    "SERVE_RELOAD",
+    "SERVE_SCORE",
     "SimulatedCrash",
     "TRAINER_EPOCH",
     "TRAINER_STEP",
     "check",
+    "delay",
     "filter_bytes",
     "reset",
 ]

@@ -1,27 +1,35 @@
-"""Fault-injection primitives for crash/corruption testing.
+"""Fault-injection primitives for crash/corruption/latency testing.
 
-Production code exposes *fault sites* — named points where a crash or
-an I/O corruption may be injected — by calling :func:`check` (crash
-sites) or routing write payloads through :func:`filter_bytes` (I/O
-sites).  Both are no-ops costing one attribute load and one truthiness
-test unless a fault is armed, so the hooks are safe on hot paths.
+Production code exposes *fault sites* — named points where a crash, an
+I/O corruption, or extra latency may be injected — by calling
+:func:`check` (crash sites), routing write payloads through
+:func:`filter_bytes` (I/O sites), or calling :func:`delay` (latency
+sites).  All three are no-ops costing one attribute load and one
+truthiness test unless a fault is armed, so the hooks are safe on hot
+paths.
 
 Faults are armed with context managers:
 
 - :class:`CrashPoint` raises :class:`SimulatedCrash` (or a custom
-  exception) the ``at``-th time a named site is hit, simulating a
-  process dying at a step/epoch boundary or mid-checkpoint-write;
+  exception) the ``at``-th time a named site is hit — and optionally
+  every ``every``-th hit thereafter — simulating a process dying at a
+  step/epoch boundary, mid-checkpoint-write, or a flaky dependency
+  failing repeatedly under load;
 - :class:`FaultyWrites` truncates or garbles the bytes of the
   ``at``-th write routed through a named I/O site, simulating torn
-  writes and disk corruption.
+  writes and disk corruption;
+- :class:`Latency` sleeps at a named site, simulating a slow model or
+  disk so request deadlines actually fire.
 
 Arming is process-local and intended for tests; see
-``tests/core/test_resume.py`` for usage.
+``tests/core/test_resume.py`` and ``tests/serve/test_chaos.py`` for
+usage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+import time
+from typing import Dict, List, Optional, Type
 
 import numpy as np
 
@@ -33,6 +41,9 @@ CKPT_BEFORE_REPLACE = "ckpt:before-replace"
 CKPT_AFTER_REPLACE = "ckpt:after-replace"
 CKPT_PAYLOAD_WRITE = "ckpt:payload-write"
 CKPT_MANIFEST_WRITE = "ckpt:manifest-write"
+SERVE_SCORE = "serve:score"
+SERVE_RELOAD = "serve:reload"
+DATA_CACHE_WRITE = "data:cache-write"
 
 
 class SimulatedCrash(RuntimeError):
@@ -41,6 +52,7 @@ class SimulatedCrash(RuntimeError):
 
 _CRASH_POINTS: Dict[str, List["CrashPoint"]] = {}
 _WRITE_FAULTS: Dict[str, List["FaultyWrites"]] = {}
+_LATENCIES: Dict[str, List["Latency"]] = {}
 
 
 class CrashPoint:
@@ -51,19 +63,30 @@ class CrashPoint:
         at: which hit triggers the crash, 1-based; earlier hits pass
             through untouched.
         exc: exception type to raise (default :class:`SimulatedCrash`).
+        every: when set, keep firing every ``every``-th hit after the
+            ``at``-th (so ``at=2, every=1`` fails hit 2 and every hit
+            after it) — a persistently-broken dependency rather than a
+            single crash.
 
     The instance records ``hits`` and ``triggered`` so tests can assert
     the site was actually reached.
     """
 
     def __init__(
-        self, point: str, at: int = 1, exc: Type[BaseException] = SimulatedCrash
+        self,
+        point: str,
+        at: int = 1,
+        exc: Type[BaseException] = SimulatedCrash,
+        every: Optional[int] = None,
     ) -> None:
         if at < 1:
             raise ValueError(f"at must be >= 1, got {at}")
+        if every is not None and every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
         self.point = point
         self.at = at
         self.exc = exc
+        self.every = every
         self.hits = 0
         self.triggered = False
 
@@ -80,7 +103,10 @@ class CrashPoint:
 
     def _hit(self) -> None:
         self.hits += 1
-        if self.hits == self.at:
+        fire = self.hits == self.at
+        if not fire and self.every is not None and self.hits > self.at:
+            fire = (self.hits - self.at) % self.every == 0
+        if fire:
             self.triggered = True
             raise self.exc(
                 f"simulated crash at fault site {self.point!r} (hit {self.hits})"
@@ -177,7 +203,73 @@ def filter_bytes(site: str, data: bytes) -> bytes:
     return data
 
 
+class Latency:
+    """Context manager injecting sleep at a named latency site.
+
+    Args:
+        site: fault-site name (e.g. :data:`SERVE_SCORE`).
+        seconds: how long :func:`delay` sleeps when the site is hit.
+        at: 1-based hit that incurs the latency; ``None`` (default)
+            slows *every* hit, modelling a persistently slow backend
+            rather than a single hiccup.
+        sleep: injectable sleep function (tests may count calls instead
+            of actually sleeping).
+
+    Records ``hits`` and ``slept`` (total injected seconds) so tests
+    can assert the latency was actually applied.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        seconds: float,
+        at: Optional[int] = None,
+        sleep=time.sleep,
+    ) -> None:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if at is not None and at < 1:
+            raise ValueError(f"at must be >= 1, got {at}")
+        self.site = site
+        self.seconds = seconds
+        self.at = at
+        self.sleep = sleep
+        self.hits = 0
+        self.slept = 0.0
+
+    def __enter__(self) -> "Latency":
+        _LATENCIES.setdefault(self.site, []).append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        listeners = _LATENCIES.get(self.site, [])
+        if self in listeners:
+            listeners.remove(self)
+        if not listeners and self.site in _LATENCIES:
+            del _LATENCIES[self.site]
+
+    def _hit(self) -> None:
+        self.hits += 1
+        if self.at is not None and self.hits != self.at:
+            return
+        self.sleep(self.seconds)
+        self.slept += self.seconds
+
+
+def delay(site: str) -> None:
+    """Sleep for any :class:`Latency` armed on ``site``.
+
+    Called by production code at latency sites; a no-op unless a test
+    has armed a fault there.
+    """
+    if not _LATENCIES:
+        return
+    for fault in list(_LATENCIES.get(site, ())):
+        fault._hit()
+
+
 def reset() -> None:
     """Disarm every fault (test-teardown safety net)."""
     _CRASH_POINTS.clear()
     _WRITE_FAULTS.clear()
+    _LATENCIES.clear()

@@ -1,17 +1,30 @@
-"""Tests for dataset caching."""
+"""Tests for dataset caching: round-trips, argument fingerprints, and
+torn-write recovery."""
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
+import numpy as np
+import pytest
+
+from repro import testing
 from repro.data import (
+    DatasetCacheError,
     cached_generate,
+    dataset_fingerprint,
     generate_preset,
     load_dataset_file,
     save_dataset,
 )
 
 from ..helpers import tiny_dataset
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
 
 
 class TestSaveLoad:
@@ -46,3 +59,96 @@ class TestCachedGenerate:
         second = cached_generate(generator, path, "hetrec-del", scale=0.03, seed=0)
         assert len(calls) == 1  # second call served from disk
         np.testing.assert_array_equal(first.user_ids, second.user_ids)
+
+    def test_different_args_regenerate(self, tmp_path):
+        path = str(tmp_path / "cache.npz")
+        calls = []
+
+        def generator(name, scale, seed):
+            calls.append((name, scale, seed))
+            return generate_preset(name, scale=scale, seed=seed)
+
+        cached_generate(generator, path, "hetrec-del", scale=0.03, seed=0)
+        # Same path, different seed: a hit here would silently serve the
+        # wrong dataset — the fingerprint forces a regeneration.
+        with pytest.warns(RuntimeWarning, match="different arguments"):
+            second = cached_generate(
+                generator, path, "hetrec-del", scale=0.03, seed=1
+            )
+        assert calls == [("hetrec-del", 0.03, 0), ("hetrec-del", 0.03, 1)]
+        expected = generate_preset("hetrec-del", scale=0.03, seed=1)
+        np.testing.assert_array_equal(second.user_ids, expected.user_ids)
+        # The archive now carries the new fingerprint: hit again.
+        cached_generate(generator, path, "hetrec-del", scale=0.03, seed=1)
+        assert len(calls) == 2
+
+    def test_legacy_archive_without_fingerprint_regenerates(self, tmp_path):
+        path = str(tmp_path / "cache.npz")
+        save_dataset(tiny_dataset(), path)  # no fingerprint stored
+        calls = []
+
+        def generator():
+            calls.append(1)
+            return tiny_dataset()
+
+        with pytest.warns(RuntimeWarning, match="different arguments"):
+            cached_generate(generator, path)
+        assert len(calls) == 1
+
+    def test_fingerprint_is_argument_sensitive(self):
+        base = dataset_fingerprint("a", scale=0.1, seed=0)
+        assert base == dataset_fingerprint("a", scale=0.1, seed=0)
+        assert base == dataset_fingerprint("a", seed=0, scale=0.1)  # kw order
+        assert base != dataset_fingerprint("a", scale=0.2, seed=0)
+        assert base != dataset_fingerprint("b", scale=0.1, seed=0)
+
+
+class TestCorruptionRecovery:
+    def test_torn_write_raises_dataset_cache_error(self, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        with testing.FaultyWrites(
+            testing.DATA_CACHE_WRITE, mode="truncate", fraction=0.4
+        ) as fault:
+            save_dataset(tiny_dataset(), path)
+            assert fault.corrupted
+        with pytest.raises(DatasetCacheError, match="unreadable"):
+            load_dataset_file(path)
+
+    def test_garbled_write_raises_dataset_cache_error(self, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        with testing.FaultyWrites(
+            testing.DATA_CACHE_WRITE, mode="garble", fraction=0.5
+        ):
+            save_dataset(tiny_dataset(), path)
+        with pytest.raises(DatasetCacheError):
+            load_dataset_file(path)
+
+    def test_missing_file_keeps_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_file(str(tmp_path / "absent.npz"))
+
+    def test_cached_generate_deletes_and_regenerates(self, tmp_path):
+        path = str(tmp_path / "cache.npz")
+        calls = []
+
+        def generator():
+            calls.append(1)
+            return tiny_dataset()
+
+        with testing.FaultyWrites(
+            testing.DATA_CACHE_WRITE, mode="truncate", fraction=0.3
+        ):
+            cached_generate(generator, path)  # lands corrupt on disk
+        with pytest.warns(RuntimeWarning, match="regenerating"):
+            recovered = cached_generate(generator, path)
+        assert len(calls) == 2
+        tiny = tiny_dataset()
+        np.testing.assert_array_equal(recovered.user_ids, tiny.user_ids)
+        # The rewrite healed the cache: the next call is a clean hit.
+        cached_generate(generator, path)
+        assert len(calls) == 2
+
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        save_dataset(tiny_dataset(), str(tmp_path / "ds.npz"))
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []

@@ -1,0 +1,150 @@
+"""Circuit-breaker state machine tests (deterministic fake clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(clock, **kwargs):
+    defaults = dict(failure_threshold=3, recovery_time=10.0, half_open_probes=1)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = make(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 consecutive
+
+    def test_trips_open_at_threshold(self):
+        breaker = make(FakeClock())
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+
+class TestRecovery:
+    def test_half_open_after_recovery_time(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probes already in flight
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_clock(self):
+        clock = FakeClock()
+        breaker = make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert breaker.state == OPEN  # recovery clock restarted
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_multi_probe_close_requires_all_successes(self):
+        clock = FakeClock()
+        breaker = make(clock, half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow() and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestTransitions:
+    def test_on_transition_sequence(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            recovery_time=5.0,
+            clock=clock,
+            on_transition=lambda old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_reset_force_closes(self):
+        breaker = make(FakeClock(), failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"recovery_time": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

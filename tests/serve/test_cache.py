@@ -1,0 +1,80 @@
+"""TTL'd LRU stale-response cache tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import TTLCache
+
+from .test_breaker import FakeClock
+
+
+class TestTTL:
+    def test_hit_before_expiry(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=4, ttl=10.0, clock=clock)
+        cache.put("u1", [1, 2, 3])
+        clock.advance(9.9)
+        assert cache.get("u1") == [1, 2, 3]
+
+    def test_expires_exactly_at_ttl(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=4, ttl=10.0, clock=clock)
+        cache.put("u1", [1])
+        clock.advance(10.0)
+        assert cache.get("u1") is None
+        assert len(cache) == 0  # expired entry dropped on sight
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=4, ttl=10.0, clock=clock)
+        cache.put("u1", [1])
+        clock.advance(8.0)
+        cache.put("u1", [2])
+        clock.advance(8.0)
+        assert cache.get("u1") == [2]
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=8, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(3.0)
+        cache.put("b", 2)
+        clock.advance(3.0)  # "a" expired, "b" alive
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1
+        assert cache.get("b") == 2
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=2, ttl=100.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh recency of "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_contains_respects_expiry(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=2, ttl=1.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        clock.advance(2.0)
+        assert "a" not in cache
+
+    def test_clear(self):
+        cache = TTLCache(max_entries=2, ttl=1.0, clock=FakeClock())
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"ttl": 0.0}])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            TTLCache(**kwargs)

@@ -1,0 +1,61 @@
+"""`python -m repro.serve` CLI smoke tests (tiny budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import testing
+from repro.serve.__main__ import build_parser, main
+
+TINY = [
+    "--dataset", "hetrec-del",
+    "--method", "BPRMF",
+    "--scale", "0.02",
+    "--epochs", "1",
+    "--embed-dim", "8",
+    "--batch-size", "256",
+    "--requests", "24",
+]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.method == "BPRMF"
+        assert args.requests == 40
+        assert not args.chaos
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--method", "nope"])
+
+
+class TestHealthyRun:
+    def test_serves_all_requests(self, capsys):
+        assert main(TINY) == 0
+        out = capsys.readouterr().out
+        assert "OK: every request answered" in out
+        assert "serving perf" in out
+
+
+class TestChaosRun:
+    def test_degrades_but_never_errors(self, capsys):
+        assert main(TINY + ["--chaos", "--deadline-ms", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "level=popularity" in out or "level=stale" in out
+        assert "OK: every request answered" in out
+
+
+class TestCheckpointServing:
+    def test_hot_reload_bootstrap(self, tmp_path, capsys):
+        ckpt_dir = str(tmp_path / "ckpts")
+        assert main(TINY + ["--checkpoint-dir", ckpt_dir]) == 0
+        out = capsys.readouterr().out
+        assert "hot-reload bootstrap: reloaded" in out
+        assert "ckpt-step-" in out
