@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -46,3 +46,16 @@ serve-smoke:
 	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
 		--scale 0.02 --epochs 2 --batch-size 256 \
 		--requests 40 --deadline-ms 50 --chaos
+
+# Observability smoke: run a 1-epoch traced training, then prove the
+# artifacts are machine-readable — the trace renders through the report
+# CLI and the Prometheus exposition parses back.
+obs-smoke:
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	$(PYTHON) -m repro run --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 1 --batch-size 256 \
+		--trace-out .obs-smoke/trace.jsonl \
+		--metrics-out .obs-smoke/metrics.prom
+	$(PYTHON) -m repro.obs report .obs-smoke/trace.jsonl \
+		--metrics .obs-smoke/metrics.prom
+	rm -rf .obs-smoke

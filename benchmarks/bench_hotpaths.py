@@ -16,12 +16,19 @@ comparable across runs).
 from __future__ import annotations
 
 import os
+import time
 
+import numpy as np
+
+from repro import obs
 from repro.bench import (
     format_hotpath_table,
     run_hotpath_suite,
     save_hotpath_results,
 )
+from repro.data import generate_preset, split_dataset
+from repro.eval import Evaluator
+from repro.models import BPRMF
 
 from .conftest import env_float, run_once
 
@@ -32,6 +39,10 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_hotpaths.json")
 MIN_EVALUATOR_SPEEDUP = 5.0
 MIN_SAMPLER_SPEEDUP = 3.0
 MAX_METRIC_DIFF = 1e-9
+
+#: Tracing instrumentation with the tracer disabled (the default) must
+#: cost less than this fraction of an instrumented hot-path run.
+MAX_DISABLED_TRACING_OVERHEAD = 0.03
 
 
 def test_hotpath_throughput(benchmark):
@@ -68,3 +79,50 @@ def test_hotpath_throughput(benchmark):
     if scale == 1.0:
         save_hotpath_results(payload, RESULTS_PATH)
         print(f"recorded: {RESULTS_PATH}")
+
+
+def test_disabled_tracing_overhead():
+    """The observability hooks must be ~free when tracing is off.
+
+    The disabled path of every ``tracer.span(...)`` site is one enabled
+    check returning a shared no-op span.  Bound its cost: (spans a real
+    evaluation emits) x (measured per-span disabled cost) must stay
+    under 3% of the evaluation's own wall time.
+    """
+    dataset = generate_preset("hetrec-del", scale=0.05, seed=0)
+    split = split_dataset(dataset, seed=0)
+    model = BPRMF(
+        dataset.num_users, dataset.num_items, 16,
+        rng=np.random.default_rng(0),
+    )
+    evaluator = Evaluator(split.train, split.valid)
+
+    # How many spans one evaluation emits, from a real traced run.
+    traced = obs.Tracer()
+    evaluator.evaluate(model, tracer=traced)
+    spans_per_eval = len(traced)
+    assert spans_per_eval > 0
+
+    disabled = obs.Tracer(enabled=False)
+    probes = 100_000
+    start = time.perf_counter()
+    for _ in range(probes):
+        with disabled.span("probe"):
+            pass
+    per_span = (time.perf_counter() - start) / probes
+
+    repeats = 3
+    start = time.perf_counter()
+    for _ in range(repeats):
+        evaluator.evaluate(model, tracer=disabled)
+    eval_seconds = (time.perf_counter() - start) / repeats
+
+    overhead = per_span * spans_per_eval / eval_seconds
+    print(
+        f"\ndisabled tracing: {spans_per_eval} spans/eval, "
+        f"{per_span * 1e9:.0f} ns/span, overhead {overhead:.4%}"
+    )
+    assert overhead < MAX_DISABLED_TRACING_OVERHEAD, (
+        f"disabled tracing costs {overhead:.2%} of an evaluation "
+        f"(floor {MAX_DISABLED_TRACING_OVERHEAD:.0%})"
+    )

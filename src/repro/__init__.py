@@ -9,6 +9,8 @@ Subpackages:
 - :mod:`repro.core` — the IMCAT method (IRM + IMCA + ISA + trainer);
 - :mod:`repro.eval` — ranking metrics, evaluator, group analyses;
 - :mod:`repro.perf` — timers/counters instrumentation for perf reports;
+- :mod:`repro.obs` — unified observability (hierarchical trace spans,
+  metrics registry with Prometheus/JSONL export, sampling profiler);
 - :mod:`repro.ckpt` — fault-tolerant checkpoint/resume (atomic rolling
   snapshots of the full training state, bit-exact continuation);
 - :mod:`repro.testing` — fault-injection harness (crash points, I/O
@@ -35,10 +37,10 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import bench, ckpt, core, data, eval, models, nn, perf, serve, testing  # noqa: F401
+from . import bench, ckpt, core, data, eval, models, nn, obs, perf, serve, testing  # noqa: F401
 from .io import load_model, save_model
 
 __all__ = [
     "bench", "ckpt", "core", "data", "eval", "load_model", "models",
-    "nn", "perf", "save_model", "serve", "testing", "__version__",
+    "nn", "obs", "perf", "save_model", "serve", "testing", "__version__",
 ]

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data import generate_preset, split_dataset
 from ..data.split import Split
 from ..eval import EvalResult, Evaluator
@@ -93,19 +94,31 @@ def run_recipe(
     keep_model: bool = False,
 ) -> CellResult:
     """Train one recipe and evaluate it on the test set."""
-    trained = recipe(
-        dataset,
-        split,
-        settings.embed_dim,
-        settings.train_seed,
-        settings.epochs,
-        settings.batch_size,
-        **settings.train_overrides(),
-    )
-    evaluator = Evaluator(
-        split.train, split.test, top_n=(settings.top_n,), metrics=("recall", "ndcg")
-    )
-    result: EvalResult = evaluator.evaluate(trained.model)
+    tracer = obs.get_tracer()
+    with tracer.span(
+        "bench:cell", dataset=dataset.name, method=method_name
+    ) as span:
+        trained = recipe(
+            dataset,
+            split,
+            settings.embed_dim,
+            settings.train_seed,
+            settings.epochs,
+            settings.batch_size,
+            **settings.train_overrides(),
+        )
+        evaluator = Evaluator(
+            split.train, split.test,
+            top_n=(settings.top_n,), metrics=("recall", "ndcg"),
+        )
+        with tracer.span("eval", stage="test"):
+            result: EvalResult = evaluator.evaluate(
+                trained.model, tracer=tracer
+            )
+        span.set_attributes(
+            recall=result[f"recall@{settings.top_n}"],
+            epochs_run=trained.epochs_run,
+        )
     return CellResult(
         dataset=dataset.name,
         method=method_name,

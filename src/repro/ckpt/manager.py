@@ -31,7 +31,7 @@ import zipfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from .. import testing
+from .. import obs, testing
 from .serialize import checksum, decode_state, encode_state
 
 MANIFEST_NAME = "manifest.json"
@@ -85,16 +85,24 @@ class CheckpointManager:
         keep_last: how many newest snapshots retention preserves.
         maximize_metric: whether the best-by-metric snapshot (also kept)
             is the max or the min.
+        tracer: optional :class:`repro.obs.Tracer` (falls back to the
+            process-global one); records ``ckpt:save`` / ``ckpt:load``
+            spans with per-entry ``ckpt:validate`` children.
     """
 
     def __init__(
-        self, directory: str, keep_last: int = 3, maximize_metric: bool = True
+        self,
+        directory: str,
+        keep_last: int = 3,
+        maximize_metric: bool = True,
+        tracer: Optional["obs.Tracer"] = None,
     ) -> None:
         if keep_last < 1:
             raise ValueError(f"keep_last must be >= 1, got {keep_last}")
         self.directory = directory
         self.keep_last = keep_last
         self.maximize_metric = maximize_metric
+        self.tracer = obs.resolve_tracer(tracer)
         os.makedirs(directory, exist_ok=True)
         self._drop_stale_tmp()
         self._manifest = self._load_manifest()
@@ -180,26 +188,28 @@ class CheckpointManager:
         write, so corruption anywhere downstream (torn write, bit rot)
         is detectable at load time.
         """
-        data = encode_state(state)
-        digest = checksum(data)
-        name = f"ckpt-{step:010d}.npz"
-        path = os.path.join(self.directory, name)
-        _atomic_write(path, data, testing.CKPT_PAYLOAD_WRITE)
-        self._manifest["checkpoints"] = [
-            entry for entry in self._manifest["checkpoints"]
-            if entry["file"] != name
-        ]
-        self._manifest["checkpoints"].append(
-            {
-                "file": name,
-                "step": int(step),
-                "metric": None if metric is None else float(metric),
-                "sha256": digest,
-                "saved_at": time.time(),
-            }
-        )
-        self._prune()
-        self._write_manifest()
+        with self.tracer.span("ckpt:save", step=int(step)) as span:
+            data = encode_state(state)
+            digest = checksum(data)
+            name = f"ckpt-{step:010d}.npz"
+            path = os.path.join(self.directory, name)
+            span.set_attributes(file=name, bytes=len(data))
+            _atomic_write(path, data, testing.CKPT_PAYLOAD_WRITE)
+            self._manifest["checkpoints"] = [
+                entry for entry in self._manifest["checkpoints"]
+                if entry["file"] != name
+            ]
+            self._manifest["checkpoints"].append(
+                {
+                    "file": name,
+                    "step": int(step),
+                    "metric": None if metric is None else float(metric),
+                    "sha256": digest,
+                    "saved_at": time.time(),
+                }
+            )
+            self._prune()
+            self._write_manifest()
         return path
 
     def _prune(self) -> None:
@@ -234,45 +244,57 @@ class CheckpointManager:
         tried, so a torn write degrades to losing at most the newest
         snapshot rather than the whole run.
         """
-        for entry in reversed(self._manifest["checkpoints"]):
-            path = os.path.join(self.directory, entry["file"])
-            try:
-                with open(path, "rb") as handle:
-                    data = handle.read()
-            except OSError as err:
-                warnings.warn(
-                    f"checkpoint {path!r} unreadable ({err}); "
-                    f"falling back to the previous snapshot",
-                    RuntimeWarning,
-                    stacklevel=2,
+        with self.tracer.span("ckpt:load") as load_span:
+            for entry in reversed(self._manifest["checkpoints"]):
+                path = os.path.join(self.directory, entry["file"])
+                with self.tracer.span(
+                    "ckpt:validate", file=entry["file"]
+                ) as span:
+                    try:
+                        with open(path, "rb") as handle:
+                            data = handle.read()
+                    except OSError as err:
+                        span.set_attribute("outcome", "unreadable")
+                        warnings.warn(
+                            f"checkpoint {path!r} unreadable ({err}); "
+                            f"falling back to the previous snapshot",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    expected = entry.get("sha256")
+                    if expected is not None and checksum(data) != expected:
+                        span.set_attribute("outcome", "checksum-mismatch")
+                        warnings.warn(
+                            f"checkpoint {path!r} failed checksum "
+                            f"verification (corrupt write or bit rot); "
+                            f"falling back to the previous snapshot",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    try:
+                        state = decode_state(data)
+                    except (ValueError, KeyError, zipfile.BadZipFile) as err:
+                        span.set_attribute("outcome", "undecodable")
+                        warnings.warn(
+                            f"checkpoint {path!r} undecodable ({err}); "
+                            f"falling back to the previous snapshot",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    span.set_attribute("outcome", "ok")
+                load_span.set_attributes(
+                    file=entry["file"], step=int(entry.get("step", 0))
                 )
-                continue
-            expected = entry.get("sha256")
-            if expected is not None and checksum(data) != expected:
-                warnings.warn(
-                    f"checkpoint {path!r} failed checksum verification "
-                    f"(corrupt write or bit rot); falling back to the "
-                    f"previous snapshot",
-                    RuntimeWarning,
-                    stacklevel=2,
+                return Checkpoint(
+                    state=state,
+                    path=path,
+                    step=int(entry.get("step", 0)),
+                    metric=entry.get("metric"),
                 )
-                continue
-            try:
-                state = decode_state(data)
-            except (ValueError, KeyError, zipfile.BadZipFile) as err:
-                warnings.warn(
-                    f"checkpoint {path!r} undecodable ({err}); "
-                    f"falling back to the previous snapshot",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
-            return Checkpoint(
-                state=state,
-                path=path,
-                step=int(entry.get("step", 0)),
-                metric=entry.get("metric"),
-            )
+            load_span.set_attribute("outcome", "empty")
         return None
 
 

@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import obs
 from .bench import ABLATIONS, EXTRAS, METHODS, BenchSettings, run_method
 from .bench.tables import format_table
 from .data import DATASET_ORDER, compute_statistics, generate_preset
@@ -57,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
              "snapshot under --checkpoint-dir; or pass a checkpoint "
              "file/directory",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable tracing (repro.obs) and export the span tree to "
+             "FILE as JSONL",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export run metrics to FILE (Prometheus text format; "
+             ".json/.jsonl extensions switch to a JSONL snapshot)",
+    )
+    run.add_argument(
+        "--profile", nargs="?", const=25, default=None, type=int,
+        metavar="N",
+        help="attach the sampling profiler and print the top-N hottest "
+             "collapsed stacks after the run",
+    )
 
     stats = commands.add_parser("stats", help="print Table I statistics")
     stats.add_argument("--scale", type=float, default=0.05)
@@ -67,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace_out is not None:
+        obs.enable_tracing()
+    profiler = None
+    if args.profile is not None:
+        profiler = obs.SamplingProfiler().start()
     settings = BenchSettings(
         scale=args.scale,
         embed_dim=args.embed_dim,
@@ -78,7 +100,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         keep_last=args.keep_last,
         resume_from=args.resume,
     )
-    cell = run_method(args.dataset, args.method, settings)
+    try:
+        cell = run_method(args.dataset, args.method, settings)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     print(
         format_table(
             ["dataset", "method", "R@20 (%)", "N@20 (%)", "time (s)", "epochs"],
@@ -86,6 +112,18 @@ def cmd_run(args: argparse.Namespace) -> int:
               100 * cell.ndcg, cell.wall_time, cell.epochs_run]],
         )
     )
+    if profiler is not None:
+        print(profiler.format_top(args.profile))
+    if args.trace_out is not None:
+        obs.get_tracer().export_jsonl(args.trace_out)
+        print(f"trace: {args.trace_out}")
+    if args.metrics_out is not None:
+        registry = obs.get_metrics()
+        if args.metrics_out.endswith((".json", ".jsonl")):
+            obs.write_metrics_jsonl(registry, args.metrics_out)
+        else:
+            obs.write_metrics(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
     return 0
 
 

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import TagRecDataset
 from ..data.sampling import TripletBatch
 from ..models.base import Recommender
@@ -78,6 +79,11 @@ class IMCAT(Module):
         self._tag_aggregator = TagAggregator(
             self._tags_of_item, self.config.num_intents
         )
+
+        # Observability: the trainer injects its tracer here so the
+        # per-phase loss spans land in the same trace; ``None`` falls
+        # back to the process-global tracer (disabled by default).
+        self.tracer: Optional[obs.Tracer] = None
 
         # Mutable training state managed by the trainer.
         self.clustering_active = False
@@ -197,20 +203,32 @@ class IMCAT(Module):
         item_batch: np.ndarray,
         rng: np.random.Generator,
     ) -> Tensor:
-        """The joint objective of Eq. (18)."""
+        """The joint objective of Eq. (18).
+
+        Each active component is wrapped in a trace span (``loss:bpr`` /
+        ``loss:tag`` / ``loss:align`` / ``loss:kl`` /
+        ``loss:independence``), so a recorded run attributes forward
+        time to the paper's individual objectives.
+        """
         config = self.config
-        loss = self.ui_loss(ui_batch)
+        tracer = obs.resolve_tracer(self.tracer)
+        with tracer.span("loss:bpr"):
+            loss = self.ui_loss(ui_batch)
         if config.alpha > 0:
-            loss = loss + self.vt_loss(it_batch) * config.alpha
+            with tracer.span("loss:tag"):
+                loss = loss + self.vt_loss(it_batch) * config.alpha
         if config.beta > 0 and config.use_alignment:
-            loss = loss + self.alignment_loss(item_batch, rng) * config.beta
+            with tracer.span("loss:align"):
+                loss = loss + self.alignment_loss(item_batch, rng) * config.beta
         if config.gamma > 0 and self.clustering_active:
-            loss = loss + self.kl_loss() * config.gamma
+            with tracer.span("loss:kl"):
+                loss = loss + self.kl_loss() * config.gamma
         if config.independence_weight > 0 and config.num_intents > 1:
-            loss = loss + (
-                self.intent_independence_loss(item_batch)
-                * config.independence_weight
-            )
+            with tracer.span("loss:independence"):
+                loss = loss + (
+                    self.intent_independence_loss(item_batch)
+                    * config.independence_weight
+                )
         return loss
 
     # ------------------------------------------------------------------

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .. import testing
+from .. import obs, testing
 from ..ckpt import (
     CheckpointError,
     CheckpointManager,
@@ -95,6 +95,11 @@ class IMCATTrainer:
         evaluator: optional custom validation evaluator.
         perf: optional timer registry to record phase timings into
             (a fresh one is created per :meth:`fit` call otherwise).
+        tracer: optional :class:`repro.obs.Tracer`; falls back to the
+            process-global tracer (disabled by default).  When tracing
+            is on, the run records a ``train`` → ``epoch`` → ``step`` →
+            phase span tree plus per-epoch loss and cluster-drift
+            gauges in :func:`repro.obs.get_metrics`.
     """
 
     def __init__(
@@ -104,6 +109,7 @@ class IMCATTrainer:
         train_config: Optional[IMCATTrainConfig] = None,
         evaluator: Optional[Evaluator] = None,
         perf: Optional[StopwatchRegistry] = None,
+        tracer: Optional[obs.Tracer] = None,
     ) -> None:
         self.model = model
         self.split = split
@@ -115,6 +121,7 @@ class IMCATTrainer:
             metrics=("recall",),
         )
         self.perf = perf
+        self.tracer = tracer
 
     def fit(self) -> IMCATTrainResult:
         """Run the full schedule; restores the best validation state.
@@ -128,6 +135,40 @@ class IMCATTrainer:
             return self._fit()
 
     def _fit(self) -> IMCATTrainResult:
+        tracer = obs.resolve_tracer(self.tracer)
+        with tracer.span(
+            "train",
+            method="IMCAT",
+            backbone=type(self.model.backbone).__name__,
+            epochs=self.config.epochs,
+        ) as train_span:
+            result = self._fit_loop(tracer)
+            train_span.set_attributes(
+                best_metric=result.best_metric, epochs_run=result.epochs_run
+            )
+            return result
+
+    def _refresh_clusters(self, rng, perf, tracer, metrics) -> None:
+        """One membership refresh, with the drift gauge updated.
+
+        Drift is the fraction of tags whose hard cluster changed — the
+        convergence signal the end-to-end clustering (and ELCRec-style
+        variants) are tuned against.
+        """
+        model = self.model
+        with perf.timed("cluster-refresh"):
+            with tracer.span("cluster-refresh") as span:
+                before = model.tag_clusters.copy()
+                model.refresh_clusters(rng)
+                drift = (
+                    float(np.mean(before != model.tag_clusters))
+                    if before.size
+                    else 0.0
+                )
+                span.set_attribute("drift", drift)
+        metrics.gauge("trainer.cluster_drift").set(drift)
+
+    def _fit_loop(self, tracer: obs.Tracer) -> IMCATTrainResult:
         model = self.model
         config = self.config
         imcat_config: IMCATConfig = model.config
@@ -145,6 +186,9 @@ class IMCATTrainer:
         )
         perf = self.perf if self.perf is not None else StopwatchRegistry()
         counters = CounterRegistry()
+        metrics = obs.get_metrics()
+        if model.tracer is None:
+            model.tracer = tracer
 
         # Auxiliary batch streams: index arrays are cached once and
         # reshuffled in place at each wrap instead of rebuilding Python
@@ -157,7 +201,8 @@ class IMCATTrainer:
         manager = None
         if config.checkpoint_dir is not None:
             manager = CheckpointManager(
-                config.checkpoint_dir, keep_last=config.keep_last
+                config.checkpoint_dir, keep_last=config.keep_last,
+                tracer=tracer,
             )
         fingerprint = config_fingerprint(
             config,
@@ -205,8 +250,7 @@ class IMCATTrainer:
         else:
             # Phase-1 alignment uses a single degenerate cluster; build
             # the ISA index for it once.
-            with perf.timed("cluster-refresh"):
-                model.refresh_clusters(rng)
+            self._refresh_clusters(rng, perf, tracer, metrics)
 
         def snapshot(next_epoch: int) -> dict:
             """Full training state at an epoch boundary (bit-exact)."""
@@ -241,73 +285,101 @@ class IMCATTrainer:
         for epoch in range(start_epoch, config.epochs):
             epochs_run = epoch + 1
             if epoch == imcat_config.pretrain_epochs:
-                model.activate_clustering(rng)
-            model.train()
-            model.refresh_epoch(epoch)
-            epoch_loss = 0.0
-            num_batches = 0
-            ui_epoch = ui_sampler.epoch(config.batch_size)
-            while True:
-                with perf.timed("sampling"):
-                    ui_batch = next(ui_epoch, None)
-                    if ui_batch is not None:
-                        it_batch = next(it_batches)
-                        item_batch = next(item_batches)
-                if ui_batch is None:
-                    break
-                model.begin_step()
-                with perf.timed("forward"):
-                    loss = model.training_loss(ui_batch, it_batch, item_batch, rng)
-                with perf.timed("backward"):
-                    optimizer.zero_grad()
-                    loss.backward()
-                    optimizer.step()
-                epoch_loss += loss.item()
-                num_batches += 1
-                step += 1
-                counters.add("steps")
-                counters.add("triplets", len(ui_batch))
-                testing.check(testing.TRAINER_STEP)
-                if (
-                    model.clustering_active
-                    and step % imcat_config.cluster_refresh_every == 0
-                ):
-                    with perf.timed("cluster-refresh"):
-                        model.refresh_clusters(rng)
-
-            record = {"epoch": epoch, "loss": epoch_loss / max(num_batches, 1)}
-            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
-                model.eval()
-                model.begin_step()
-                with perf.timed("eval"):
-                    result = self.evaluator.evaluate(model, perf=perf)
-                counters.add("evals")
-                record[metric_key] = result[metric_key]
-                if config.verbose:
-                    print(
-                        f"[IMCAT/{model.backbone.__class__.__name__}] "
-                        f"epoch {epoch}: loss={record['loss']:.4f} "
-                        f"{metric_key}={result[metric_key]:.4f}"
-                    )
-                if result[metric_key] > best_metric:
-                    best_metric = result[metric_key]
-                    best_epoch = epoch
-                    best_state = model.state_dict()
-                    bad_evals = 0
-                else:
-                    bad_evals += 1
-                    if bad_evals >= config.patience:
-                        history.append(record)
+                with tracer.span("activate-clustering"):
+                    model.activate_clustering(rng)
+            stop_early = False
+            epoch_start = time.perf_counter()
+            with tracer.span(
+                "epoch", index=epoch, clustering=model.clustering_active
+            ) as epoch_span:
+                model.train()
+                model.refresh_epoch(epoch)
+                epoch_loss = 0.0
+                num_batches = 0
+                ui_epoch = ui_sampler.epoch(config.batch_size)
+                while True:
+                    with perf.timed("sampling"), tracer.span("sampling"):
+                        ui_batch = next(ui_epoch, None)
+                        if ui_batch is not None:
+                            it_batch = next(it_batches)
+                            item_batch = next(item_batches)
+                    if ui_batch is None:
                         break
-            history.append(record)
-            if manager is not None and (epoch + 1) % config.checkpoint_every == 0:
-                with perf.timed("checkpoint"):
-                    manager.save(
-                        snapshot(next_epoch=epoch + 1),
-                        step=step,
-                        metric=record.get(metric_key),
+                    model.begin_step()
+                    with perf.timed("forward"), tracer.span("forward"):
+                        loss = model.training_loss(
+                            ui_batch, it_batch, item_batch, rng
+                        )
+                    with perf.timed("backward"), tracer.span("backward"):
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                    epoch_loss += loss.item()
+                    num_batches += 1
+                    step += 1
+                    counters.add("steps")
+                    counters.add("triplets", len(ui_batch))
+                    testing.check(testing.TRAINER_STEP)
+                    if (
+                        model.clustering_active
+                        and step % imcat_config.cluster_refresh_every == 0
+                    ):
+                        self._refresh_clusters(rng, perf, tracer, metrics)
+
+                record = {
+                    "epoch": epoch, "loss": epoch_loss / max(num_batches, 1)
+                }
+                epoch_span.set_attributes(
+                    loss=record["loss"], steps=num_batches
+                )
+                metrics.gauge("trainer.loss").set(record["loss"])
+                if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                    model.eval()
+                    model.begin_step()
+                    with perf.timed("eval"):
+                        with tracer.span("eval") as eval_span:
+                            result = self.evaluator.evaluate(
+                                model, perf=perf, tracer=tracer
+                            )
+                            eval_span.set_attribute(
+                                "metric", result[metric_key]
+                            )
+                    counters.add("evals")
+                    metrics.gauge(f"trainer.valid.{metric_key}").set(
+                        result[metric_key]
                     )
-                counters.add("checkpoints")
+                    record[metric_key] = result[metric_key]
+                    if config.verbose:
+                        print(
+                            f"[IMCAT/{model.backbone.__class__.__name__}] "
+                            f"epoch {epoch}: loss={record['loss']:.4f} "
+                            f"{metric_key}={result[metric_key]:.4f}"
+                        )
+                    if result[metric_key] > best_metric:
+                        best_metric = result[metric_key]
+                        best_epoch = epoch
+                        best_state = model.state_dict()
+                        bad_evals = 0
+                    else:
+                        bad_evals += 1
+                        if bad_evals >= config.patience:
+                            stop_early = True
+                history.append(record)
+                if not stop_early and manager is not None and (
+                    (epoch + 1) % config.checkpoint_every == 0
+                ):
+                    with perf.timed("checkpoint"):
+                        manager.save(
+                            snapshot(next_epoch=epoch + 1),
+                            step=step,
+                            metric=record.get(metric_key),
+                        )
+                    counters.add("checkpoints")
+            metrics.histogram("trainer.epoch_seconds").observe(
+                time.perf_counter() - epoch_start
+            )
+            if stop_early:
+                break
             testing.check(testing.TRAINER_EPOCH)
 
         if best_state is not None:

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import TagRecDataset
 from ..nn import no_grad
 from ..perf import StopwatchRegistry
@@ -121,6 +122,7 @@ class Evaluator:
         model,
         chunk_size: int = 256,
         perf: Optional[StopwatchRegistry] = None,
+        tracer: Optional[obs.Tracer] = None,
     ) -> EvalResult:
         """Evaluate ``model`` (anything exposing ``all_scores(users)``).
 
@@ -132,15 +134,20 @@ class Evaluator:
             chunk_size: users ranked per ``all_scores`` call.
             perf: optional timer registry; when given, the phases
                 ``score`` / ``rank`` / ``metrics`` are recorded.
+            tracer: optional :class:`repro.obs.Tracer` (falls back to
+                the process-global tracer); records per-chunk
+                ``eval:score`` / ``eval:rank`` spans and one
+                ``metric:<name>@<n>`` span per configured metric.
         """
         perf = perf if perf is not None else StopwatchRegistry()
+        tracer = obs.resolve_tracer(tracer)
         max_n = max(self.top_n)
         chunks: Dict[str, List[np.ndarray]] = {
             f"{m}@{n}": [] for m in self.metric_names for n in self.top_n
         }
         for start in range(0, len(self.eval_users), chunk_size):
             users = self.eval_users[start : start + chunk_size]
-            with perf.timed("score"):
+            with perf.timed("score"), tracer.span("eval:score", users=len(users)):
                 # Scoring runs under no_grad so a model that forgets to
                 # detach cannot grow the tape across the full |U| x |V|
                 # ranking; the copy is needed because the chunk is
@@ -153,11 +160,13 @@ class Evaluator:
                     f"all_scores returned {scores.shape[0]} rows for "
                     f"{len(users)} users"
                 )
-            with perf.timed("rank"):
+            with perf.timed("rank"), tracer.span("eval:rank"):
                 hits = self._rank_chunk(scores, start, len(users), max_n)
             with perf.timed("metrics"):
                 relevant = self._rel_counts[start : start + len(users)]
-                for key, values in self._chunk_metrics(hits, relevant).items():
+                for key, values in self._chunk_metrics(
+                    hits, relevant, tracer
+                ).items():
                     chunks[key].append(values)
         per_user = {
             key: (
@@ -213,9 +222,13 @@ class Evaluator:
         return hits & valid
 
     def _chunk_metrics(
-        self, hits: np.ndarray, relevant: np.ndarray
+        self,
+        hits: np.ndarray,
+        relevant: np.ndarray,
+        tracer: Optional[obs.Tracer] = None,
     ) -> Dict[str, np.ndarray]:
         """All configured metrics for one chunk from its hit matrix."""
+        tracer = obs.resolve_tracer(tracer)
         hits = hits.astype(np.float64)
         k = hits.shape[1]
         discounts = 1.0 / np.log2(np.arange(k, dtype=np.float64) + 2.0)
@@ -229,26 +242,31 @@ class Evaluator:
             ideal = np.minimum(relevant, n)
             for metric in self.metric_names:
                 key = f"{metric}@{n}"
-                if metric == "recall":
-                    out[key] = hits_n / np.maximum(relevant, 1.0)
-                elif metric == "precision":
-                    out[key] = hits_n / n if n > 0 else np.zeros(len(hits))
-                elif metric == "hit_rate":
-                    out[key] = (hits_n > 0).astype(np.float64)
-                elif metric == "ndcg":
-                    dcg = (hits[:, :m] * discounts[:m]).sum(axis=1)
-                    idcg = cum_discount[np.minimum(ideal, k).astype(np.int64)]
-                    out[key] = np.divide(
-                        dcg, idcg, out=np.zeros_like(dcg), where=idcg > 0
-                    )
-                elif metric == "map":
-                    ranks = np.arange(1, m + 1, dtype=np.float64)
-                    ap = (hits[:, :m] * cum_hits[:, :m] / ranks).sum(axis=1)
-                    out[key] = np.divide(
-                        ap, ideal, out=np.zeros_like(ap), where=ideal > 0
-                    )
-                else:  # pragma: no cover - guarded in __init__
-                    raise AssertionError(f"unhandled metric {metric!r}")
+                with tracer.span(f"metric:{key}"):
+                    if metric == "recall":
+                        out[key] = hits_n / np.maximum(relevant, 1.0)
+                    elif metric == "precision":
+                        out[key] = hits_n / n if n > 0 else np.zeros(len(hits))
+                    elif metric == "hit_rate":
+                        out[key] = (hits_n > 0).astype(np.float64)
+                    elif metric == "ndcg":
+                        dcg = (hits[:, :m] * discounts[:m]).sum(axis=1)
+                        idcg = cum_discount[
+                            np.minimum(ideal, k).astype(np.int64)
+                        ]
+                        out[key] = np.divide(
+                            dcg, idcg, out=np.zeros_like(dcg), where=idcg > 0
+                        )
+                    elif metric == "map":
+                        ranks = np.arange(1, m + 1, dtype=np.float64)
+                        ap = (
+                            hits[:, :m] * cum_hits[:, :m] / ranks
+                        ).sum(axis=1)
+                        out[key] = np.divide(
+                            ap, ideal, out=np.zeros_like(ap), where=ideal > 0
+                        )
+                    else:  # pragma: no cover - guarded in __init__
+                        raise AssertionError(f"unhandled metric {metric!r}")
         return out
 
     # ------------------------------------------------------------------

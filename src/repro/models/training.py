@@ -15,7 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .. import testing
+from .. import obs, testing
 from ..ckpt import (
     CheckpointError,
     CheckpointManager,
@@ -110,6 +110,8 @@ def _fit_bpr(
     config: TrainConfig,
     evaluator: Optional[Evaluator],
 ) -> TrainResult:
+    tracer = obs.get_tracer()
+    metrics = obs.get_metrics()
     rng = np.random.default_rng(config.seed)
     sampler = BPRSampler(split.train, seed=config.seed)
     evaluator = evaluator or Evaluator(
@@ -132,7 +134,7 @@ def _fit_bpr(
     manager = None
     if config.checkpoint_dir is not None:
         manager = CheckpointManager(
-            config.checkpoint_dir, keep_last=config.keep_last
+            config.checkpoint_dir, keep_last=config.keep_last, tracer=tracer
         )
     fingerprint = config_fingerprint(
         config, {"kind": "bpr", "model": type(model).__name__}
@@ -203,59 +205,86 @@ def _fit_bpr(
             "history": history,
         }
 
-    for epoch in range(start_epoch, config.epochs):
-        epochs_run = epoch + 1
-        model.train()
-        model.refresh_epoch(epoch)
-        epoch_loss = 0.0
-        num_batches = 0
-        for batch in sampler.epoch(config.batch_size):
-            model.begin_step()
-            loss = model.bpr_loss(batch)
-            extra = model.extra_loss(rng)
-            if extra is not None:
-                loss = loss + extra
-            optimizer.zero_grad()
-            loss.backward()
-            if config.clip_norm is not None:
-                clip_grad_norm(optimizer.parameters, config.clip_norm)
-            optimizer.step()
-            epoch_loss += loss.item()
-            num_batches += 1
-            step += 1
-            testing.check(testing.TRAINER_STEP)
-        if scheduler is not None:
-            scheduler.step()
+    with tracer.span(
+        "train", kind="bpr", model=type(model).__name__
+    ) as train_span:
+        for epoch in range(start_epoch, config.epochs):
+            epochs_run = epoch + 1
+            stop_early = False
+            with tracer.span("epoch", index=epoch) as epoch_span:
+                model.train()
+                model.refresh_epoch(epoch)
+                epoch_loss = 0.0
+                num_batches = 0
+                for batch in sampler.epoch(config.batch_size):
+                    model.begin_step()
+                    loss = model.bpr_loss(batch)
+                    extra = model.extra_loss(rng)
+                    if extra is not None:
+                        loss = loss + extra
+                    optimizer.zero_grad()
+                    loss.backward()
+                    if config.clip_norm is not None:
+                        clip_grad_norm(optimizer.parameters, config.clip_norm)
+                    optimizer.step()
+                    epoch_loss += loss.item()
+                    num_batches += 1
+                    step += 1
+                    testing.check(testing.TRAINER_STEP)
+                if scheduler is not None:
+                    scheduler.step()
 
-        record = {"epoch": epoch, "loss": epoch_loss / max(num_batches, 1)}
-        if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
-            model.eval()
-            model.begin_step()
-            result = evaluator.evaluate(model)
-            record[metric_key] = result[metric_key]
-            if config.verbose:
-                print(
-                    f"[{model.__class__.__name__}] epoch {epoch}: "
-                    f"loss={record['loss']:.4f} {metric_key}={result[metric_key]:.4f}"
+                record = {
+                    "epoch": epoch, "loss": epoch_loss / max(num_batches, 1)
+                }
+                metrics.gauge("bpr.loss").set(record["loss"])
+                if (
+                    (epoch + 1) % config.eval_every == 0
+                    or epoch == config.epochs - 1
+                ):
+                    model.eval()
+                    model.begin_step()
+                    with tracer.span("eval", metric=metric_key):
+                        result = evaluator.evaluate(model, tracer=tracer)
+                    record[metric_key] = result[metric_key]
+                    metrics.gauge(f"bpr.valid.{metric_key}").set(
+                        result[metric_key]
+                    )
+                    if config.verbose:
+                        print(
+                            f"[{model.__class__.__name__}] epoch {epoch}: "
+                            f"loss={record['loss']:.4f} "
+                            f"{metric_key}={result[metric_key]:.4f}"
+                        )
+                    if result[metric_key] > best_metric:
+                        best_metric = result[metric_key]
+                        best_epoch = epoch
+                        best_state = model.state_dict()
+                        bad_evals = 0
+                    else:
+                        bad_evals += 1
+                        if bad_evals >= config.patience:
+                            stop_early = True
+                epoch_span.set_attributes(
+                    loss=record["loss"], steps=num_batches
                 )
-            if result[metric_key] > best_metric:
-                best_metric = result[metric_key]
-                best_epoch = epoch
-                best_state = model.state_dict()
-                bad_evals = 0
-            else:
-                bad_evals += 1
-                if bad_evals >= config.patience:
-                    history.append(record)
-                    break
-        history.append(record)
-        if manager is not None and (epoch + 1) % config.checkpoint_every == 0:
-            manager.save(
-                snapshot(next_epoch=epoch + 1),
-                step=step,
-                metric=record.get(metric_key),
-            )
-        testing.check(testing.TRAINER_EPOCH)
+            history.append(record)
+            if stop_early:
+                break
+            if (
+                manager is not None
+                and (epoch + 1) % config.checkpoint_every == 0
+            ):
+                manager.save(
+                    snapshot(next_epoch=epoch + 1),
+                    step=step,
+                    metric=record.get(metric_key),
+                )
+            testing.check(testing.TRAINER_EPOCH)
+        train_span.set_attributes(
+            best_metric=float(best_metric) if best_metric > -np.inf else 0.0,
+            epochs_run=epochs_run,
+        )
 
     if best_state is not None:
         model.load_state_dict(best_state)

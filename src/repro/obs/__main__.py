@@ -1,0 +1,89 @@
+"""``python -m repro.obs`` — inspect recorded observability artifacts.
+
+Commands::
+
+    python -m repro.obs report trace.jsonl
+    python -m repro.obs report trace.jsonl --depth 4 --metrics out.prom
+
+``report`` loads a JSONL trace (as written by ``--trace-out`` on the
+train/serve CLIs or :meth:`repro.obs.Tracer.export_jsonl`), validates
+its structure, and renders the span tree.  With ``--metrics`` it also
+parses a Prometheus text exposition file and prints a sample summary —
+a non-zero exit on any parse/validation failure is what the
+``make obs-smoke`` CI gate relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import parse_prometheus, read_trace, render_tree, trace_summary, validate_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="inspect recorded traces and exported metrics",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    report = commands.add_parser(
+        "report", help="render a JSONL trace as a span tree"
+    )
+    report.add_argument("trace", help="JSONL trace file")
+    report.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="limit the rendered tree to N levels",
+    )
+    report.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="also parse and summarise a Prometheus text metrics file",
+    )
+    return parser
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        records = read_trace(args.trace)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read trace: {err}", file=sys.stderr)
+        return 1
+    problem = validate_trace(records)
+    if problem is not None:
+        print(f"error: invalid trace: {problem}", file=sys.stderr)
+        return 1
+    summary = trace_summary(records)
+    print(
+        f"trace: {summary['spans']} spans, {summary['roots']} root(s) "
+        f"{summary['root_names']}, total wall {summary['total_wall']:.3f}s, "
+        f"cpu {summary['total_cpu']:.3f}s"
+    )
+    print()
+    print(render_tree(records, max_depth=args.depth))
+    if args.metrics is not None:
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                families = parse_prometheus(handle.read())
+        except (OSError, ValueError) as err:
+            print(f"error: cannot parse metrics: {err}", file=sys.stderr)
+            return 1
+        samples = sum(len(f["samples"]) for f in families.values())
+        print()
+        print(
+            f"metrics: {len(families)} families, {samples} samples "
+            f"({args.metrics})"
+        )
+        for name, family in sorted(families.items()):
+            kind = family["type"] or "untyped"
+            print(f"  {name:<44} {kind:<10} {len(family['samples'])} sample(s)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"report": cmd_report}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Exporters: JSONL trace/metric dumps and Prometheus text exposition.
+
+Two wire formats cover the consumers we care about:
+
+- **JSONL** — one JSON object per line; traces are span records
+  (:meth:`repro.obs.Tracer.records`), metric dumps are a single
+  snapshot record.  Greppable, appendable, diffable.
+- **Prometheus text exposition format** — the ``# HELP`` / ``# TYPE`` /
+  sample-line format every Prometheus-compatible scraper ingests.
+  :func:`parse_prometheus` reads it back, which is how the round-trip
+  test and the ``obs-smoke`` CI gate validate exported output without a
+  Prometheus binary in the container.
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots, dashes, and slashes become
+underscores.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal metric name onto the Prometheus grammar."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render every instrument in ``registry`` as exposition text.
+
+    Counters gain a ``_total`` suffix per the Prometheus naming
+    convention; histograms expand to ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``.
+    """
+    snap = registry.snapshot()
+    lines: List[str] = []
+
+    def qualify(name: str) -> str:
+        return sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+
+    for name, value in snap["counters"].items():
+        metric = qualify(name) + "_total"
+        lines.append(f"# HELP {metric} Monotonic counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snap["gauges"].items():
+        metric = qualify(name)
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in snap["histograms"].items():
+        metric = qualify(name)
+        lines.append(f"# HELP {metric} Histogram {name!r}.")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, count in zip(hist["bounds"], hist["bucket_counts"]):
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {count}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse exposition text back into ``{metric: {type, samples}}``.
+
+    ``samples`` maps a frozen label string (``'le="0.5"'`` or ``""``)
+    to the float value.  Raises ``ValueError`` on malformed lines, so
+    the smoke gate genuinely validates the export.
+    """
+    metrics: Dict[str, dict] = {}
+    types: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        value_text = match.group("value")
+        try:
+            value = (
+                float("inf") if value_text == "+Inf" else float(value_text)
+            )
+        except ValueError as err:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            ) from err
+        # A histogram's series share the base name's declared type.
+        base = re.sub(r"_(bucket|sum|count|total)$", "", name)
+        family = metrics.setdefault(
+            name if name in types else base,
+            {"type": None, "samples": {}},
+        )
+        family["samples"][f"{name}{{{match.group('labels') or ''}}}"] = value
+    for name, family in metrics.items():
+        family["type"] = types.get(name)
+    if not metrics:
+        raise ValueError("no metric samples found")
+    return metrics
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: str, prefix: str = "repro"
+) -> None:
+    """Write ``registry`` to ``path`` as Prometheus exposition text."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus(registry, prefix=prefix))
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: str) -> None:
+    """Append one JSON snapshot line of ``registry`` to ``path``."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(registry.snapshot(), sort_keys=True) + "\n")
+
+
+def read_trace(path: str) -> List[dict]:
+    """Load span records from a JSONL trace file.
+
+    Raises ``ValueError`` when any line is not a span record (missing
+    ``span_id``/``name``), so trace validation doubles as parsing.
+    """
+    records: List[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {err}"
+                ) from err
+            if not isinstance(record, dict) or "span_id" not in record \
+                    or "name" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: not a span record: {line[:80]!r}"
+                )
+            records.append(record)
+    return records
+
+
+def validate_trace(records: List[dict]) -> Optional[str]:
+    """Structural check of a loaded trace; returns an error or ``None``.
+
+    Every ``parent_id`` must reference a span in the file and ids must
+    be unique — the invariants the report renderer depends on.
+    """
+    seen = set()
+    for record in records:
+        if record["span_id"] in seen:
+            return f"duplicate span_id {record['span_id']}"
+        seen.add(record["span_id"])
+    for record in records:
+        parent = record.get("parent_id")
+        if parent is not None and parent not in seen:
+            return f"span {record['span_id']} has unknown parent {parent}"
+    return None

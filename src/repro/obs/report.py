@@ -1,0 +1,137 @@
+"""Render a recorded trace as a tree, and metrics as a table.
+
+The tree collapses runs of same-named siblings (4800 ``step`` spans
+render as one ``step ×4800`` line with summed durations), shows wall
+and CPU seconds per node, and surfaces a small allowlist of interesting
+attributes — enough to read a 2-epoch training run or a 10k-request
+serving session at a glance::
+
+    train (wall 12.412s, cpu 12.101s)
+    ├─ cluster-refresh (wall 0.310s, ...)
+    └─ epoch ×2 (wall 11.820s, ...)
+       ├─ step ×94 (wall 9.213s, ...)
+       │  ├─ sampling ×94 (...)
+       ...
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+#: Attributes worth echoing inline on the report tree (last one of a
+#: collapsed run wins).
+_SHOWN_ATTRIBUTES = (
+    "loss", "level", "metric", "epoch", "index", "breaker", "outcome",
+)
+
+
+def _children_index(records: List[dict]) -> Dict[Optional[int], List[dict]]:
+    """``parent_id -> [child records in id order]`` for one trace."""
+    index: Dict[Optional[int], List[dict]] = defaultdict(list)
+    for record in sorted(records, key=lambda r: r["span_id"]):
+        index[record.get("parent_id")].append(record)
+    return index
+
+
+def _aggregate(children: List[dict]) -> List[dict]:
+    """Collapse same-named siblings into count groups.
+
+    Grouping is by name in first-appearance order (not consecutive
+    runs), so the children of two merged ``epoch`` spans fold into one
+    ``step ×N`` / ``eval ×M`` pair instead of alternating.
+    """
+    groups: List[dict] = []
+    by_name: Dict[str, dict] = {}
+    for record in children:
+        group = by_name.get(record["name"])
+        if group is None:
+            group = by_name[record["name"]] = {
+                "name": record["name"], "count": 0, "wall": 0.0,
+                "cpu": 0.0, "ids": [], "attributes": {},
+            }
+            groups.append(group)
+        group["count"] += 1
+        group["wall"] += record.get("wall", 0.0)
+        group["cpu"] += record.get("cpu", 0.0)
+        group["ids"].append(record["span_id"])
+        for key in _SHOWN_ATTRIBUTES:
+            if key in record.get("attributes", {}):
+                group["attributes"][key] = record["attributes"][key]
+    return groups
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    parts = []
+    for key, value in attrs.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return f" [{', '.join(parts)}]" if parts else ""
+
+
+def render_tree(records: List[dict], max_depth: Optional[int] = None) -> str:
+    """Text tree of a span record list (see module docstring)."""
+    if not records:
+        return "(empty trace)"
+    index = _children_index(records)
+    lines: List[str] = []
+
+    def walk(parent_ids: List[int], prefix: str, depth: int) -> None:
+        children: List[dict] = []
+        for parent_id in parent_ids:
+            children.extend(index.get(parent_id, []))
+        groups = _aggregate(children)
+        for position, group in enumerate(groups):
+            last = position == len(groups) - 1
+            if depth == 0:
+                branch, extend = "", ""
+            else:
+                branch = "└─ " if last else "├─ "
+                extend = "   " if last else "│  "
+            count = f" ×{group['count']}" if group["count"] > 1 else ""
+            lines.append(
+                f"{prefix}{branch}{group['name']}{count} "
+                f"(wall {group['wall']:.3f}s, cpu {group['cpu']:.3f}s)"
+                f"{_format_attrs(group['attributes'])}"
+            )
+            if max_depth is None or depth + 1 < max_depth:
+                walk(group["ids"], prefix + extend, depth + 1)
+
+    walk([None], "", 0)  # type: ignore[list-item]
+    return "\n".join(lines)
+
+
+def trace_summary(records: List[dict]) -> dict:
+    """Headline numbers for a trace: span count, roots, total wall."""
+    roots = [r for r in records if r.get("parent_id") is None]
+    return {
+        "spans": len(records),
+        "roots": len(roots),
+        "root_names": sorted({r["name"] for r in roots}),
+        "total_wall": sum(r.get("wall", 0.0) for r in roots),
+        "total_cpu": sum(r.get("cpu", 0.0) for r in roots),
+    }
+
+
+def format_metrics_table(snapshot: dict) -> str:
+    """Text rendering of a :meth:`MetricsRegistry.snapshot` payload."""
+    lines: List[str] = []
+    if snapshot.get("counters"):
+        lines.append("counters:")
+        for name, value in sorted(snapshot["counters"].items()):
+            lines.append(f"  {name:<40} {value:>12}")
+    if snapshot.get("gauges"):
+        lines.append("gauges:")
+        for name, value in sorted(snapshot["gauges"].items()):
+            lines.append(f"  {name:<40} {value:>12.6g}")
+    if snapshot.get("histograms"):
+        lines.append("histograms:")
+        for name, hist in sorted(snapshot["histograms"].items()):
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"  {name:<40} count={hist['count']} "
+                f"sum={hist['sum']:.6g} mean={mean:.6g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics)"

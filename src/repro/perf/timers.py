@@ -10,10 +10,16 @@ either component knowing about the other.
 Timing uses :func:`time.perf_counter` and adds one dictionary update
 per scope exit, so the registry is cheap enough to leave enabled on the
 training hot path.
+
+The registry is thread-safe: aggregates live behind one lock, and the
+nesting stack is thread-local so scopes opened on different threads
+(e.g. concurrent serving requests) qualify against their own stack
+rather than interleaving into nonsense paths.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -65,72 +71,99 @@ class StopwatchRegistry:
 
     def __init__(self) -> None:
         self._stats: Dict[str, TimerStat] = {}
-        self._stack: List[str] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
         """Time a scope under ``name``, prefixed by any active scopes."""
+        stack = self._stack
         path = self._qualify(name)
-        self._stack.append(path)
+        stack.append(path)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._stack.pop()
+            stack.pop()
             self.record(path, elapsed)
 
     def record(self, path: str, seconds: float) -> None:
         """Record an externally measured duration under ``path``."""
-        stat = self._stats.get(path)
-        if stat is None:
-            stat = self._stats[path] = TimerStat()
-        stat.record(seconds)
+        with self._lock:
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = TimerStat()
+            stat.record(seconds)
 
     def _qualify(self, name: str) -> str:
-        return f"{self._stack[-1]}/{name}" if self._stack else name
+        stack = self._stack
+        return f"{stack[-1]}/{name}" if stack else name
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, TimerStat]:
         """All aggregates keyed by slash-joined scope path."""
-        return dict(self._stats)
+        with self._lock:
+            return dict(self._stats)
 
     def total(self, path: str) -> float:
         """Total seconds recorded under ``path`` (0.0 if never entered)."""
-        stat = self._stats.get(path)
-        return stat.total if stat is not None else 0.0
+        with self._lock:
+            stat = self._stats.get(path)
+            return stat.total if stat is not None else 0.0
 
     def count(self, path: str) -> int:
         """Number of times ``path`` was entered."""
-        stat = self._stats.get(path)
-        return stat.count if stat is not None else 0
+        with self._lock:
+            stat = self._stats.get(path)
+            return stat.count if stat is not None else 0
 
     def exclusive_total(self, path: str) -> float:
         """Seconds in ``path`` not covered by its direct child scopes."""
-        children = sum(
-            stat.total
-            for child, stat in self._stats.items()
-            if child.startswith(path + "/") and "/" not in child[len(path) + 1 :]
-        )
-        return self.total(path) - children
+        with self._lock:
+            children = sum(
+                stat.total
+                for child, stat in self._stats.items()
+                if child.startswith(path + "/")
+                and "/" not in child[len(path) + 1 :]
+            )
+            own = self._stats.get(path)
+            return (own.total if own is not None else 0.0) - children
 
     def as_dict(self) -> Dict[str, dict]:
         """JSON-safe representation of every scope."""
-        return {path: stat.as_dict() for path, stat in sorted(self._stats.items())}
+        with self._lock:
+            return {
+                path: stat.as_dict()
+                for path, stat in sorted(self._stats.items())
+            }
 
     def merge(self, other: "StopwatchRegistry") -> None:
-        """Fold another registry's aggregates into this one."""
+        """Fold another registry's aggregates into this one.
+
+        Snapshots ``other`` first so the two locks are never held at
+        once (two concurrent opposite-direction merges cannot deadlock).
+        """
         for path, stat in other.stats().items():
-            mine = self._stats.get(path)
-            if mine is None:
-                mine = self._stats[path] = TimerStat()
-            mine.count += stat.count
-            mine.total += stat.total
-            mine.min = min(mine.min, stat.min)
-            mine.max = max(mine.max, stat.max)
+            with self._lock:
+                mine = self._stats.get(path)
+                if mine is None:
+                    mine = self._stats[path] = TimerStat()
+                mine.count += stat.count
+                mine.total += stat.total
+                mine.min = min(mine.min, stat.min)
+                mine.max = max(mine.max, stat.max)
 
     def reset(self) -> None:
-        self._stats.clear()
+        with self._lock:
+            self._stats.clear()
         self._stack.clear()

@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .. import testing
+from .. import obs, testing
 from ..bench import (
     ABLATIONS,
     EXTRAS,
@@ -75,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject scoring crashes and latency mid-run and assert "
              "degraded-but-answered behaviour (non-zero exit otherwise)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable tracing (repro.obs) and export per-request spans "
+             "to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export serving metrics to FILE (Prometheus text format; "
+             ".json/.jsonl extensions switch to a JSONL snapshot)",
+    )
     return parser
 
 
@@ -91,6 +101,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("--requests must be >= 1", file=sys.stderr)
         return 2
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+    if args.trace_out is not None:
+        obs.enable_tracing()
 
     settings = BenchSettings(
         scale=args.scale,
@@ -189,6 +201,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print("\nhealth:", {k: v for k, v in health.items() if k != "counters"})
     print(PerfReport.from_registries(service.timers, service.counters)
           .format(title="serving perf"))
+
+    if args.trace_out is not None:
+        obs.get_tracer().export_jsonl(args.trace_out)
+        print(f"trace: {args.trace_out}")
+    if args.metrics_out is not None:
+        registry = obs.get_metrics()
+        if args.metrics_out.endswith((".json", ".jsonl")):
+            obs.write_metrics_jsonl(registry, args.metrics_out)
+        else:
+            obs.write_metrics(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
 
     ok = failures == 0 and empty_answers == 0
     if args.chaos:

@@ -31,7 +31,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Set
 
 import numpy as np
 
-from .. import testing
+from .. import obs, testing
 from ..eval.metrics import rank_items
 from ..perf import CounterRegistry, StopwatchRegistry
 from .breaker import CLOSED, CircuitBreaker
@@ -146,7 +146,16 @@ class RecommendationService:
         stale_ttl / stale_entries: stale-response cache tuning.
         reload_every: when positive, ``provider.poll()`` runs every
             N-th request (hot reload piggybacked on traffic).
-        counters / timers: perf registries to share with a wider app.
+        counters / timers: perf registries to share with a wider app
+            (a :class:`repro.obs.MetricsRegistry` drops in for
+            ``counters`` unchanged).
+        tracer: optional :class:`repro.obs.Tracer`; falls back to the
+            process-global tracer.  Each answered request records a
+            ``serve:request`` span tagged with the degradation rung,
+            retry count, breaker state, and deadline outcome, with one
+            ``serve:attempt`` child per live-scoring try; request
+            latencies also feed the ``serve.request_seconds`` histogram
+            of :func:`repro.obs.get_metrics`.
         clock / sleep / jitter_seed: injectable time sources for tests.
     """
 
@@ -164,6 +173,7 @@ class RecommendationService:
         reload_every: int = 0,
         counters: Optional[CounterRegistry] = None,
         timers: Optional[StopwatchRegistry] = None,
+        tracer: Optional[obs.Tracer] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         jitter_seed: int = 0,
@@ -180,6 +190,7 @@ class RecommendationService:
         self.retry = retry or RetryPolicy()
         self.counters = counters if counters is not None else CounterRegistry()
         self.timers = timers if timers is not None else StopwatchRegistry()
+        self.tracer = obs.resolve_tracer(tracer)
         self.breaker = breaker or CircuitBreaker(clock=clock)
         # Route breaker transitions into counters even for a caller-built
         # breaker that has no listener yet.
@@ -239,59 +250,69 @@ class RecommendationService:
         self._validate_user_range(user)
 
         start = self._clock()
-        self.counters.add("serve.requests")
-        self._requests_seen += 1
-        if self.reload_every and self._requests_seen % self.reload_every == 0:
-            self.poll_reload()
+        with self.tracer.span("serve:request", user=user) as span:
+            self.counters.add("serve.requests")
+            self._requests_seen += 1
+            if self.reload_every and self._requests_seen % self.reload_every == 0:
+                self.poll_reload()
 
-        budget = deadline if deadline is not None else self.default_deadline
-        request_deadline = Deadline(budget, self._clock)
-        excluded: Set[int] = set(int(i) for i in exclude) if exclude else set()
+            budget = deadline if deadline is not None else self.default_deadline
+            request_deadline = Deadline(budget, self._clock)
+            excluded: Set[int] = set(int(i) for i in exclude) if exclude else set()
 
-        items: Optional[np.ndarray] = None
-        level = LEVEL_POPULARITY
-        retries = 0
-        if self.breaker.allow():
-            try:
-                items, retries = self._score_live(
-                    user, top_n, excluded, request_deadline
-                )
-                self.breaker.record_success()
-                level = LEVEL_LIVE
-                self.stale_cache.put(user, items)
-            except DeadlineExceeded:
-                self.counters.add("serve.deadline_exceeded")
-                self.breaker.record_failure()
-            except ModelUnavailable:
-                self.counters.add("serve.unready")
-            except Exception:
-                self.counters.add("serve.errors")
-                self.breaker.record_failure()
-        else:
-            self.counters.add("serve.breaker.short_circuit")
-
-        if items is None:
-            items = self._from_stale(user, top_n, excluded)
-            if items is not None:
-                level = LEVEL_STALE
-
-        if items is None:
-            items = self._popular(top_n, excluded)
+            items: Optional[np.ndarray] = None
             level = LEVEL_POPULARITY
+            retries = 0
+            if self.breaker.allow():
+                try:
+                    items, retries = self._score_live(
+                        user, top_n, excluded, request_deadline
+                    )
+                    self.breaker.record_success()
+                    level = LEVEL_LIVE
+                    self.stale_cache.put(user, items)
+                except DeadlineExceeded:
+                    self.counters.add("serve.deadline_exceeded")
+                    self.breaker.record_failure()
+                except ModelUnavailable:
+                    self.counters.add("serve.unready")
+                except Exception:
+                    self.counters.add("serve.errors")
+                    self.breaker.record_failure()
+            else:
+                self.counters.add("serve.breaker.short_circuit")
 
-        self.counters.add(f"serve.responses.{level}")
-        if level != LEVEL_LIVE:
-            self.counters.add("serve.degraded")
-        latency = self._clock() - start
-        self.timers.record("serve.request", latency)
+            if items is None:
+                items = self._from_stale(user, top_n, excluded)
+                if items is not None:
+                    level = LEVEL_STALE
+
+            if items is None:
+                items = self._popular(top_n, excluded)
+                level = LEVEL_POPULARITY
+
+            self.counters.add(f"serve.responses.{level}")
+            if level != LEVEL_LIVE:
+                self.counters.add("serve.degraded")
+            latency = self._clock() - start
+            self.timers.record("serve.request", latency)
+            breaker_state = self.breaker.state
+            deadline_hit = request_deadline.expired()
+            span.set_attributes(
+                level=level,
+                retries=retries,
+                breaker=breaker_state,
+                deadline_hit=deadline_hit,
+            )
+        obs.get_metrics().histogram("serve.request_seconds").observe(latency)
         return ServeResponse(
             user=user,
             items=items,
             level=level,
             latency=latency,
             retries=retries,
-            deadline_hit=request_deadline.expired(),
-            breaker_state=self.breaker.state,
+            deadline_hit=deadline_hit,
+            breaker_state=breaker_state,
             model_version=self.provider.version(),
         )
 
@@ -311,7 +332,9 @@ class RecommendationService:
             attempt += 1
             try:
                 self.counters.add("serve.score.attempts")
-                with self.timers.timed("serve.score"):
+                with self.timers.timed("serve.score"), self.tracer.span(
+                    "serve:attempt", attempt=attempt
+                ):
                     testing.check(testing.SERVE_SCORE)
                     testing.delay(testing.SERVE_SCORE)
                     model = self.provider.model()

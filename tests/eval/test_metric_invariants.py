@@ -1,0 +1,205 @@
+"""Seed-swept invariant tests for the ranking metrics.
+
+Rather than pinning hand-computed values (``tests/eval/test_metrics.py``
+does that), these tests assert properties that must hold for *any*
+ranking and relevance set: range bounds, invariance to permuting the
+unranked tail, monotone improvement when a relevant item is promoted to
+rank 1, and the empty-ground-truth edge cases.  Each property is swept
+over many random seeds so a regression that only bites for particular
+hit patterns still fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    METRIC_FUNCTIONS,
+    average_precision_at_n,
+    hit_rate_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    rank_items,
+    recall_at_n,
+)
+
+SEEDS = list(range(25))
+NUM_ITEMS = 60
+TOP_N = 10
+
+
+def _random_case(seed: int):
+    """One random (ranked list, relevant set) pair."""
+    rng = np.random.default_rng(seed)
+    ranked = rng.permutation(NUM_ITEMS).tolist()
+    num_relevant = int(rng.integers(1, 15))
+    relevant = set(
+        rng.choice(NUM_ITEMS, size=num_relevant, replace=False).tolist()
+    )
+    return rng, ranked, relevant
+
+
+class TestRangeBounds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_metric_in_unit_interval(self, name, seed):
+        _, ranked, relevant = _random_case(seed)
+        value = METRIC_FUNCTIONS[name](ranked, relevant, TOP_N)
+        assert 0.0 <= value <= 1.0, f"{name} left [0, 1]: {value}"
+
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_perfect_ranking_scores_one(self, name):
+        """Relevant items stacked at the top give the maximum value
+        (except precision, which is |relevant|/n when there are fewer
+        relevant items than slots)."""
+        relevant = {0, 1, 2, 3}
+        ranked = list(range(NUM_ITEMS))
+        value = METRIC_FUNCTIONS[name](ranked, relevant, TOP_N)
+        if name == "precision":
+            assert value == pytest.approx(len(relevant) / TOP_N)
+        else:
+            assert value == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_no_hits_scores_zero(self, name):
+        ranked = list(range(TOP_N))
+        relevant = {NUM_ITEMS + 5, NUM_ITEMS + 6}
+        assert METRIC_FUNCTIONS[name](ranked, relevant, TOP_N) == 0.0
+
+
+class TestTailPermutationInvariance:
+    """Items below rank ``n`` must not influence any @n metric."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_shuffling_tail_changes_nothing(self, name, seed):
+        rng, ranked, relevant = _random_case(seed)
+        baseline = METRIC_FUNCTIONS[name](ranked, relevant, TOP_N)
+        head, tail = ranked[:TOP_N], ranked[TOP_N:]
+        for _ in range(3):
+            shuffled = head + rng.permutation(tail).tolist()
+            assert METRIC_FUNCTIONS[name](
+                shuffled, relevant, TOP_N
+            ) == pytest.approx(baseline)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_truncating_tail_changes_nothing(self, name, seed):
+        _, ranked, relevant = _random_case(seed)
+        baseline = METRIC_FUNCTIONS[name](ranked, relevant, TOP_N)
+        assert METRIC_FUNCTIONS[name](
+            ranked[:TOP_N], relevant, TOP_N
+        ) == pytest.approx(baseline)
+
+
+class TestPromotionMonotonicity:
+    """Moving a relevant item from outside the top-``n`` to rank 1 must
+    never decrease a metric (and must strictly increase the rank-aware
+    ones)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_promote_unranked_relevant_item(self, name, seed):
+        rng, ranked, relevant = _random_case(seed)
+        outside = [item for item in ranked[TOP_N:] if item in relevant]
+        if not outside:
+            # Force one relevant item outside the head.
+            victim = int(rng.choice(sorted(relevant)))
+            ranked.remove(victim)
+            ranked.append(victim)
+            outside = [victim]
+        promoted = outside[0]
+        before = METRIC_FUNCTIONS[name](ranked, relevant, TOP_N)
+        reranked = [promoted] + [item for item in ranked if item != promoted]
+        after = METRIC_FUNCTIONS[name](reranked, relevant, TOP_N)
+        assert after >= before - 1e-12
+        if name in ("recall", "precision"):
+            # One more hit in the window unless the window was full of
+            # hits already (then the displaced item may also be a hit).
+            displaced = ranked[TOP_N - 1]
+            if displaced not in relevant:
+                assert after > before
+        if name in ("ndcg", "map"):
+            displaced = ranked[TOP_N - 1]
+            if displaced not in relevant:
+                assert after > before
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_swapping_hit_upward_never_hurts_ndcg(self, seed):
+        """NDCG is rank-discounted: moving a hit one slot up past a miss
+        strictly increases it."""
+        _, ranked, relevant = _random_case(seed)
+        head = ranked[:TOP_N]
+        for position in range(1, TOP_N):
+            if head[position] in relevant and head[position - 1] not in relevant:
+                before = ndcg_at_n(ranked, relevant, TOP_N)
+                swapped = list(ranked)
+                swapped[position - 1], swapped[position] = (
+                    swapped[position], swapped[position - 1]
+                )
+                after = ndcg_at_n(swapped, relevant, TOP_N)
+                assert after > before
+                return
+        pytest.skip("no miss-above-hit adjacency in this draw")
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_empty_ground_truth_is_zero(self, name):
+        """No relevant items: every metric degrades to 0.0, never NaN
+        or a ZeroDivisionError."""
+        value = METRIC_FUNCTIONS[name](list(range(20)), set(), TOP_N)
+        assert value == 0.0
+
+    @pytest.mark.parametrize("name", sorted(METRIC_FUNCTIONS))
+    def test_empty_ranking(self, name):
+        assert METRIC_FUNCTIONS[name]([], {1, 2, 3}, TOP_N) == 0.0
+
+    def test_precision_zero_window(self):
+        assert precision_at_n([1, 2, 3], {1}, 0) == 0.0
+
+    def test_single_relevant_single_slot(self):
+        assert recall_at_n([7], {7}, 1) == 1.0
+        assert ndcg_at_n([7], {7}, 1) == pytest.approx(1.0)
+        assert hit_rate_at_n([7], {7}, 1) == 1.0
+        assert average_precision_at_n([7], {7}, 1) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_relevant_larger_than_window_keeps_bounds(self, seed):
+        """More relevant items than ranking slots: still within [0, 1]
+        and a fully-relevant window maxes the rank-aware metrics."""
+        rng = np.random.default_rng(seed)
+        relevant = set(range(NUM_ITEMS))
+        ranked = rng.permutation(NUM_ITEMS).tolist()
+        for name, func in METRIC_FUNCTIONS.items():
+            value = func(ranked, relevant, TOP_N)
+            assert 0.0 <= value <= 1.0
+            if name != "recall":
+                assert value == pytest.approx(1.0), name
+
+
+class TestRankItems:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_exclusions_never_recommended(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=NUM_ITEMS)
+        exclude = set(
+            rng.choice(NUM_ITEMS, size=NUM_ITEMS // 3, replace=False).tolist()
+        )
+        ranked = rank_items(scores, exclude, TOP_N)
+        assert not (set(ranked.tolist()) & exclude)
+        assert len(ranked) == min(TOP_N, NUM_ITEMS - len(exclude))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_returns_true_top_scores_in_order(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=NUM_ITEMS)
+        ranked = rank_items(scores, set(), TOP_N)
+        expected = np.argsort(scores)[::-1][:TOP_N]
+        assert ranked.tolist() == expected.tolist()
+
+    def test_everything_excluded(self):
+        scores = np.arange(5, dtype=float)
+        ranked = rank_items(scores, set(range(5)), 3)
+        assert ranked.size == 0

@@ -1,0 +1,158 @@
+"""Exporters: Prometheus round-trip, JSONL traces, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus,
+    read_trace,
+    sanitize_metric_name,
+    to_prometheus,
+    validate_trace,
+    write_metrics,
+    write_metrics_jsonl,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.add("serve.requests", 12)
+    registry.gauge("trainer.loss").set(0.625)
+    hist = registry.histogram("serve.request_seconds", buckets=[0.01, 0.1, 1.0])
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("serve.request_seconds", "serve_request_seconds"),
+            ("epoch/eval", "epoch_eval"),
+            ("already_fine", "already_fine"),
+            ("9starts_with_digit", "_9starts_with_digit"),
+        ],
+    )
+    def test_names(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+
+class TestPrometheusRoundTrip:
+    def test_full_round_trip(self):
+        text = to_prometheus(_populated_registry())
+        families = parse_prometheus(text)
+        counter = families["repro_serve_requests_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"]["repro_serve_requests_total{}"] == 12.0
+
+        gauge = families["repro_trainer_loss"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"]["repro_trainer_loss{}"] == pytest.approx(0.625)
+
+        hist = families["repro_serve_request_seconds"]
+        assert hist["type"] == "histogram"
+        samples = hist["samples"]
+        assert samples['repro_serve_request_seconds_bucket{le="0.01"}'] == 1.0
+        assert samples['repro_serve_request_seconds_bucket{le="0.1"}'] == 2.0
+        assert samples['repro_serve_request_seconds_bucket{le="1"}'] == 3.0
+        assert samples['repro_serve_request_seconds_bucket{le="+Inf"}'] == 4.0
+        assert samples["repro_serve_request_seconds_count{}"] == 4.0
+        assert samples["repro_serve_request_seconds_sum{}"] == pytest.approx(
+            5.555
+        )
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        text = to_prometheus(_populated_registry())
+        families = parse_prometheus(text)
+        samples = families["repro_serve_request_seconds"]["samples"]
+        bucket_values = [
+            value for key, value in samples.items() if "_bucket{" in key
+        ]
+        assert bucket_values == sorted(bucket_values)
+
+    def test_empty_prefix(self):
+        registry = MetricsRegistry()
+        registry.add("steps")
+        families = parse_prometheus(to_prometheus(registry, prefix=""))
+        assert "steps_total" in families
+
+    def test_write_metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics(_populated_registry(), str(path))
+        families = parse_prometheus(path.read_text())
+        assert "repro_trainer_loss" in families
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("this is { not a metric\n")
+
+    def test_parser_rejects_bad_type_line(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus("# TYPE broken\n")
+
+    def test_parser_rejects_empty_export(self):
+        with pytest.raises(ValueError, match="no metric samples"):
+            parse_prometheus("# HELP nothing here\n")
+
+    def test_parser_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("metric_a notanumber\n")
+
+
+class TestJsonlMetrics:
+    def test_snapshot_appends_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = _populated_registry()
+        write_metrics_jsonl(registry, str(path))
+        registry.add("serve.requests")
+        write_metrics_jsonl(registry, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["counters"]["serve.requests"] == 12
+        assert second["counters"]["serve.requests"] == 13
+
+
+class TestTraceFiles:
+    def _write_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        return path
+
+    def test_read_trace(self, tmp_path):
+        records = read_trace(str(self._write_trace(tmp_path)))
+        assert [r["name"] for r in records] == ["root", "child"]
+        assert validate_trace(records) is None
+
+    def test_read_trace_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(str(path))
+
+    def test_read_trace_rejects_non_span(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"foo": 1}\n')
+        with pytest.raises(ValueError, match="not a span record"):
+            read_trace(str(path))
+
+    def test_validate_duplicate_ids(self):
+        records = [
+            {"span_id": 1, "parent_id": None, "name": "a"},
+            {"span_id": 1, "parent_id": None, "name": "b"},
+        ]
+        assert "duplicate" in validate_trace(records)
+
+    def test_validate_unknown_parent(self):
+        records = [{"span_id": 2, "parent_id": 99, "name": "orphan"}]
+        assert "unknown parent" in validate_trace(records)

@@ -1,0 +1,67 @@
+"""Process-global tracer/metrics accessors and their fallback logic."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_globals():
+    """Leave the process-global tracer/metrics as the suite found them."""
+    tracer = obs.get_tracer()
+    metrics = obs.get_metrics()
+    enabled = tracer.enabled
+    yield
+    obs.set_tracer(tracer)
+    obs.set_metrics(metrics)
+    tracer.enabled = enabled
+
+
+class TestGlobalTracer:
+    def test_disabled_by_default(self):
+        assert obs.get_tracer().enabled is False
+
+    def test_enable_disable_round_trip(self):
+        tracer = obs.enable_tracing()
+        assert tracer is obs.get_tracer()
+        assert tracer.enabled is True
+        assert obs.disable_tracing().enabled is False
+
+    def test_enable_mutates_existing_object(self):
+        """Components resolve the tracer at construction time, so
+        enabling must flip the already-shared object, not swap it."""
+        held = obs.resolve_tracer(None)
+        obs.enable_tracing()
+        assert held.enabled is True
+
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = obs.Tracer()
+        previous = obs.set_tracer(replacement)
+        assert obs.get_tracer() is replacement
+        assert obs.set_tracer(previous) is replacement
+
+    def test_resolve_prefers_explicit(self):
+        explicit = obs.Tracer()
+        assert obs.resolve_tracer(explicit) is explicit
+        assert obs.resolve_tracer(None) is obs.get_tracer()
+
+
+class TestGlobalMetrics:
+    def test_always_live(self):
+        obs.get_metrics().gauge("test.globals.gauge").set(1.5)
+        assert obs.get_metrics().gauges()["test.globals.gauge"] == 1.5
+
+    def test_set_metrics_swaps(self):
+        replacement = obs.MetricsRegistry()
+        previous = obs.set_metrics(replacement)
+        assert obs.get_metrics() is replacement
+        obs.set_metrics(previous)
+
+
+class TestPackageRegistration:
+    def test_obs_exported_from_repro(self):
+        assert repro.obs is obs
+        assert "obs" in repro.__all__

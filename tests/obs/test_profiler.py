@@ -1,0 +1,78 @@
+"""Sampling profiler: samples land, lifecycle is safe, formats render."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, profile
+
+
+def _busy_loop(seconds: float) -> int:
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_busy_thread(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy_loop(0.15)
+        assert prof.samples >= 5
+        top = prof.top(5)
+        assert top and top[0][1] >= 1
+        # The busy loop must dominate the leaf table.
+        leaves = [leaf for leaf, _ in top]
+        assert any("_busy_loop" in leaf for leaf in leaves)
+
+    def test_collapsed_stacks_are_flamegraph_shaped(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy_loop(0.1)
+        collapsed = prof.collapsed()
+        assert collapsed
+        for stack, count in collapsed.items():
+            assert count >= 1
+            assert ";" in stack or ":" in stack  # module:func frames
+
+    def test_as_dict_is_consistent(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy_loop(0.05)
+        payload = prof.as_dict()
+        assert payload["samples"] == sum(payload["stacks"].values())
+        assert payload["samples"] == sum(payload["leaves"].values())
+
+    def test_format_top_renders(self):
+        with SamplingProfiler(interval=0.002) as prof:
+            _busy_loop(0.05)
+        text = prof.format_top(3)
+        assert "sampling profile" in text
+        assert "%" in text
+
+    def test_format_top_empty(self):
+        prof = SamplingProfiler()
+        assert "no samples" in prof.format_top()
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(interval=0.01).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(interval=0.01).start()
+        prof.stop()
+        prof.stop()
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_profile_helper_returns_unstarted(self):
+        prof = profile(interval=0.01)
+        assert isinstance(prof, SamplingProfiler)
+        assert prof.samples == 0

@@ -1,0 +1,130 @@
+"""Report rendering and the ``python -m repro.obs report`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_metrics_table,
+    render_tree,
+    to_prometheus,
+    trace_summary,
+)
+from repro.obs.__main__ import main as obs_main
+
+
+def _training_like_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("train", method="IMCAT"):
+        for epoch in range(2):
+            with tracer.span("epoch", index=epoch) as span:
+                with tracer.span("forward"):
+                    pass
+                with tracer.span("backward"):
+                    pass
+                span.set_attribute("loss", 0.5 - 0.1 * epoch)
+        with tracer.span("eval", metric="recall@20"):
+            pass
+    return tracer
+
+
+class TestRenderTree:
+    def test_collapses_sibling_runs_with_counts(self):
+        text = render_tree(_training_like_trace().records())
+        assert "train" in text
+        assert "epoch ×2" in text
+        # Children of the merged epochs fold together too.
+        assert "forward ×2" in text
+        assert "backward ×2" in text
+        assert text.count("eval") == 1
+
+    def test_shows_allowlisted_attributes(self):
+        text = render_tree(_training_like_trace().records())
+        assert "loss=0.4" in text  # last epoch's loss wins
+        assert "metric=recall@20" in text
+
+    def test_depth_limit(self):
+        records = _training_like_trace().records()
+        shallow = render_tree(records, max_depth=1)
+        assert "train" in shallow
+        assert "epoch" not in shallow
+
+    def test_empty_trace(self):
+        assert render_tree([]) == "(empty trace)"
+
+    def test_summary_counts(self):
+        summary = trace_summary(_training_like_trace().records())
+        assert summary["spans"] == 8
+        assert summary["roots"] == 1
+        assert summary["root_names"] == ["train"]
+        assert summary["total_wall"] > 0.0
+
+
+class TestFormatMetricsTable:
+    def test_all_sections(self):
+        registry = MetricsRegistry()
+        registry.add("steps", 3)
+        registry.gauge("loss").set(0.125)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        text = format_metrics_table(registry.snapshot())
+        assert "counters:" in text and "steps" in text
+        assert "gauges:" in text and "0.125" in text
+        assert "histograms:" in text and "count=1" in text
+
+    def test_empty(self):
+        assert format_metrics_table({}) == "(no metrics)"
+
+
+class TestReportCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _training_like_trace().export_jsonl(str(path))
+        return str(path)
+
+    def test_report_renders_tree(self, trace_file, capsys):
+        assert obs_main(["report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "8 spans" in out
+        assert "epoch ×2" in out
+
+    def test_report_with_metrics_file(self, trace_file, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.add("requests", 5)
+        registry.gauge("loss").set(0.5)
+        metrics_path = tmp_path / "metrics.prom"
+        metrics_path.write_text(to_prometheus(registry))
+        assert obs_main(
+            ["report", trace_file, "--metrics", str(metrics_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 families" in out
+        assert "repro_requests_total" in out
+
+    def test_report_depth_flag(self, trace_file, capsys):
+        assert obs_main(["report", trace_file, "--depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" not in out.split("\n\n", 1)[1]
+
+    def test_missing_trace_fails(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert obs_main(["report", missing]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_invalid_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"span_id": 1, "parent_id": 99, "name": "orphan"}\n'
+        )
+        assert obs_main(["report", str(path)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_bad_metrics_file_fails(self, trace_file, tmp_path, capsys):
+        metrics_path = tmp_path / "garbage.prom"
+        metrics_path.write_text("{{{ nope\n")
+        assert obs_main(
+            ["report", trace_file, "--metrics", str(metrics_path)]
+        ) == 1
+        assert "cannot parse metrics" in capsys.readouterr().err

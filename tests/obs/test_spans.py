@@ -1,0 +1,210 @@
+"""Tracer and TraceSpan: tree structure, timing, disabled path."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import NOOP_SPAN, Tracer, span_structure
+from repro.obs.spans import iter_children
+
+
+class TestTracerBasics:
+    def test_single_span_records(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.set_attribute("key", 1)
+        spans = tracer.spans()
+        assert len(spans) == 1
+        assert spans[0].name == "work"
+        assert spans[0].parent_id is None
+        assert spans[0].attributes == {"key": 1}
+
+    def test_nesting_sets_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("inner2") as inner2:
+                assert inner2.parent_id == outer.span_id
+        records = tracer.records()
+        names = [r["name"] for r in records]
+        assert names == ["outer", "inner", "inner2"]
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_wall_and_cpu_time_recorded(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.02)
+        span = tracer.spans()[0]
+        assert span.wall >= 0.015
+        # Sleeping burns almost no CPU.
+        assert 0.0 <= span.cpu < span.wall
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.span("open")
+        assert span.wall == 0.0 and span.cpu == 0.0
+        span.__exit__(None, None, None)
+        assert span.wall > 0.0
+
+    def test_attributes_at_open_and_mid_scope(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set_attributes(b=2, c=3)
+        assert tracer.spans()[0].attributes == {"a": 1, "b": 2, "c": 3}
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+        assert tracer.current() is None
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        assert len(tracer) == 1
+        assert tracer.spans()[0].wall >= 0.0
+
+    def test_leaked_child_does_not_corrupt_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.span("leaked")  # never closed by the caller
+        # Closing outer force-pops the leaked child; the next root span
+        # must have no parent.
+        with tracer.span("root2") as root2:
+            assert root2.parent_id is None
+
+    def test_reset_clears_and_restarts_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        with tracer.span("b") as span:
+            assert span.span_id == 1
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", attr=1)
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set_attribute("x", 1)
+            inner.set_attributes(y=2)
+        assert len(tracer) == 0
+
+    def test_enable_mid_run(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("dropped"):
+            pass
+        tracer.enabled = True
+        with tracer.span("kept"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["kept"]
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(index):
+            try:
+                with tracer.span(f"thread{index}") as span:
+                    assert span.parent_id is None
+                    with tracer.span("child") as child:
+                        assert child.parent_id == span.span_id
+            except AssertionError as err:  # pragma: no cover
+                errors.append(err)
+
+        with tracer.span("main-root"):
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        roots = [s for s in tracer.spans() if s.parent_id is None]
+        # 4 thread roots + the main root; the workers never nested under
+        # the main thread's open span.
+        assert len(roots) == 5
+
+
+class TestExportAndStructure:
+    def test_export_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", run=7):
+            with tracer.span("leaf"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [r["name"] for r in records] == ["root", "leaf"]
+        assert records[0]["attributes"] == {"run": 7}
+        assert records[1]["parent_id"] == records[0]["span_id"]
+
+    def test_iter_children_orders_by_id(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        records = tracer.records()
+        children = list(iter_children(records, root.span_id))
+        assert [c["name"] for c in children] == ["a", "b", "c"]
+
+    def test_span_structure_merges_consecutive_siblings(self):
+        tracer = Tracer()
+        with tracer.span("train"):
+            for _ in range(3):
+                with tracer.span("epoch"):
+                    with tracer.span("step"):
+                        pass
+            with tracer.span("eval"):
+                pass
+        structure = span_structure(tracer.records())
+        assert structure == [
+            ("train", 1, [
+                ("epoch", 3, [("step", 1, [])]),
+                ("eval", 1, []),
+            ]),
+        ]
+
+    def test_span_structure_distinguishes_different_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("phase"):
+                with tracer.span("a"):
+                    pass
+            with tracer.span("phase"):
+                with tracer.span("b"):
+                    pass
+        structure = span_structure(tracer.records())
+        # Same name but different child shapes: runs do not merge.
+        assert structure == [
+            ("root", 1, [
+                ("phase", 1, [("a", 1, [])]),
+                ("phase", 1, [("b", 1, [])]),
+            ]),
+        ]

@@ -1,0 +1,130 @@
+"""Thread-safety hammer tests for the perf registries.
+
+Before the observability PR the registries used bare dict
+read-modify-write, so two threads incrementing the same counter could
+lose updates (load, load, add, add, store, store).  These tests hammer
+one shared registry from many threads and assert nothing is lost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.perf import CounterRegistry, StopwatchRegistry
+
+THREADS = 8
+INCREMENTS = 2_000
+
+
+def _run_threads(worker, count=THREADS):
+    """Start ``count`` workers behind a barrier and join them all."""
+    barrier = threading.Barrier(count)
+
+    def wrapped(index):
+        barrier.wait()
+        worker(index)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCounterRegistryThreadSafety:
+    def test_no_lost_increments_single_name(self):
+        registry = CounterRegistry()
+
+        def worker(_index):
+            for _ in range(INCREMENTS):
+                registry.add("hits")
+
+        _run_threads(worker)
+        assert registry.get("hits") == THREADS * INCREMENTS
+
+    def test_no_lost_increments_mixed_names(self):
+        registry = CounterRegistry()
+
+        def worker(index):
+            for step in range(INCREMENTS):
+                registry.add("shared")
+                registry.add(f"own.{index}", 2)
+                if step % 50 == 0:
+                    # Concurrent reads must not disturb the counts.
+                    registry.counts()
+
+        _run_threads(worker)
+        assert registry.get("shared") == THREADS * INCREMENTS
+        for index in range(THREADS):
+            assert registry.get(f"own.{index}") == 2 * INCREMENTS
+
+    def test_concurrent_merge_into_shared_target(self):
+        target = CounterRegistry()
+
+        def worker(_index):
+            local = CounterRegistry()
+            for _ in range(INCREMENTS):
+                local.add("events")
+            target.merge(local)
+
+        _run_threads(worker)
+        assert target.get("events") == THREADS * INCREMENTS
+
+
+class TestStopwatchRegistryThreadSafety:
+    def test_no_lost_records(self):
+        registry = StopwatchRegistry()
+        rounds = 500
+
+        def worker(_index):
+            for _ in range(rounds):
+                registry.record("phase", 0.001)
+
+        _run_threads(worker)
+        stat = registry.stats()["phase"]
+        assert stat.count == THREADS * rounds
+        assert stat.total == pytest.approx(0.001 * THREADS * rounds)
+
+    def test_scope_stacks_are_per_thread(self):
+        """Nesting on one thread must not leak into another thread's
+        qualified paths."""
+        registry = StopwatchRegistry()
+        rounds = 200
+
+        def worker(index):
+            for _ in range(rounds):
+                with registry.timed(f"outer{index}"):
+                    with registry.timed("inner"):
+                        pass
+
+        _run_threads(worker, count=4)
+        stats = registry.stats()
+        for index in range(4):
+            assert stats[f"outer{index}"].count == rounds
+            assert stats[f"outer{index}/inner"].count == rounds
+        # No cross-thread path like outer0/outer1 or a bare "inner".
+        assert "inner" not in stats
+        cross = [
+            path for path in stats
+            if path.count("outer") > 1
+        ]
+        assert cross == []
+
+    def test_concurrent_merge(self):
+        target = StopwatchRegistry()
+        rounds = 300
+
+        def worker(_index):
+            local = StopwatchRegistry()
+            for _ in range(rounds):
+                local.record("work", 0.002)
+            target.merge(local)
+
+        _run_threads(worker)
+        stat = target.stats()["work"]
+        assert stat.count == THREADS * rounds
+        assert stat.total == pytest.approx(0.002 * THREADS * rounds)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import testing
+from repro import obs, testing
 from repro.ckpt import CheckpointManager
 from repro.models import BPRMF
 from repro.serve import (
@@ -241,3 +241,102 @@ class TestCombinedChaos:
         assert counters.get("serve.reload.rejected") >= 1
         assert counters.get("serve.degraded") >= 1
         assert counters.get("serve.requests") == 12
+
+
+class TestChaosObservability:
+    """Chaos runs must leave an observable record: per-request spans
+    tagged with the degradation rung and breaker state, and metrics
+    counting every request and transition."""
+
+    @pytest.fixture()
+    def isolated_metrics(self):
+        registry = obs.MetricsRegistry()
+        previous = obs.set_metrics(registry)
+        yield registry
+        obs.set_metrics(previous)
+
+    def test_outage_spans_record_rungs_and_breaker_walk(
+        self, isolated_metrics
+    ):
+        tracer = obs.Tracer()
+        service, clock = make_service(make_model(), tracer=tracer)
+
+        for user in range(NUM_USERS):  # healthy warmup (live rung)
+            service.recommend(user)
+        with testing.CrashPoint(testing.SERVE_SCORE, at=1, every=1):
+            for user in range(NUM_USERS):  # total outage (degraded rungs)
+                service.recommend(user)
+        clock.advance(1.5)
+        service.recommend(0)  # recovery (half-open -> closed, live)
+
+        records = tracer.records()
+        assert obs.validate_trace(records) is None
+        requests = [r for r in records if r["name"] == "serve:request"]
+        assert len(requests) == 2 * NUM_USERS + 1
+
+        # Every degradation rung the service reported is on a span, and
+        # the chaos window produced both live and degraded rungs.
+        levels = [r["attributes"]["level"] for r in requests]
+        assert set(levels) <= set(LEVELS)
+        assert LEVEL_LIVE in levels
+        assert set(levels) - {LEVEL_LIVE}, "outage produced no degraded rung"
+        assert service.counters.get("serve.requests") == len(requests)
+        assert service.counters.get("serve.degraded") == sum(
+            1 for level in levels if level != LEVEL_LIVE
+        )
+
+        # The breaker walk (closed during outage onset, open once it
+        # trips, closed again after recovery) is visible on the spans...
+        breaker_states = [r["attributes"]["breaker"] for r in requests]
+        assert "open" in breaker_states
+        assert breaker_states[0] == "closed"
+        assert breaker_states[-1] == "closed"
+        # ...and each transition is counted.
+        assert service.counters.get("serve.breaker.open") >= 1
+        assert service.counters.get("serve.breaker.half_open") >= 1
+        assert service.counters.get("serve.breaker.closed") >= 1
+
+        # Live-scoring attempts nest under their request span.
+        attempts = [r for r in records if r["name"] == "serve:attempt"]
+        request_ids = {r["span_id"] for r in requests}
+        assert attempts
+        assert all(a["parent_id"] in request_ids for a in attempts)
+
+        # Every answered request fed the latency histogram.
+        hist = isolated_metrics.histograms()["serve.request_seconds"]
+        assert hist.count == len(requests)
+
+    def test_latency_chaos_tags_deadline_hits(self, isolated_metrics):
+        tracer = obs.Tracer()
+        clock = FakeClock()
+        service, _ = make_service(
+            make_model(), clock=clock, default_deadline=0.05, tracer=tracer
+        )
+        with testing.Latency(
+            testing.SERVE_SCORE, seconds=0.2,
+            sleep=lambda seconds: clock.advance(seconds),
+        ):
+            for user in range(NUM_USERS):
+                service.recommend(user)
+        requests = [
+            r for r in tracer.records() if r["name"] == "serve:request"
+        ]
+        assert len(requests) == NUM_USERS
+        deadline_hits = [
+            r for r in requests if r["attributes"]["deadline_hit"]
+        ]
+        assert len(deadline_hits) >= 1
+        assert all(
+            r["attributes"]["level"] != LEVEL_LIVE for r in deadline_hits
+        )
+        retried = [r for r in requests if r["attributes"]["retries"] > 0]
+        assert all(r["attributes"]["retries"] >= 0 for r in requests)
+        del retried  # retry counts are config-dependent; range-check only
+
+    def test_disabled_tracer_leaves_no_spans(self):
+        tracer = obs.Tracer(enabled=False)
+        service, _ = make_service(make_model(), tracer=tracer)
+        with testing.CrashPoint(testing.SERVE_SCORE, at=1, every=1):
+            for user in range(4):
+                assert_valid_response(service.recommend(user))
+        assert len(tracer) == 0

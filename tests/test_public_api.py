@@ -11,7 +11,7 @@ import repro
 
 SUBPACKAGES = ["repro.nn", "repro.data", "repro.models", "repro.core",
                "repro.eval", "repro.bench", "repro.perf", "repro.ckpt",
-               "repro.testing"]
+               "repro.testing", "repro.obs"]
 
 
 class TestExports:
@@ -74,6 +74,8 @@ class TestModuleDocstrings:
             "repro.bench.harness", "repro.bench.registry",
             "repro.bench.tables", "repro.bench.hotpaths", "repro.io",
             "repro.perf.timers", "repro.perf.counters", "repro.perf.report",
+            "repro.obs.spans", "repro.obs.metrics", "repro.obs.export",
+            "repro.obs.profiler", "repro.obs.report",
         ],
     )
     def test_every_module_has_docstring(self, module_name):
