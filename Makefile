@@ -7,7 +7,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke retrieval-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -42,10 +42,23 @@ train-resume:
 # Serving smoke: train a tiny model, answer a request stream with crash
 # and latency chaos injected mid-run, and fail unless every request was
 # answered (degraded, never erroring) and the breaker opened + recovered.
+# The second run serves through the cluster-routed retrieval tier and
+# fails unless indexed answers were actually served.
 serve-smoke:
 	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
 		--scale 0.02 --epochs 2 --batch-size 256 \
 		--requests 40 --deadline-ms 50 --chaos
+	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 2 --batch-size 256 \
+		--requests 40 --deadline-ms 50 --retrieval --n-probe 2
+
+# Retrieval smoke: build a cluster-routed index over a small catalogue
+# and assert the correctness spine — full-probe routing reproduces exact
+# evaluation, recall is monotone in n_probe, cold users get candidates,
+# thin shortlists escalate, and the index round-trips through a
+# checkpoint directory.
+retrieval-smoke:
+	$(PYTHON) -m repro.retrieval smoke
 
 # Observability smoke: run a 1-epoch traced training, then prove the
 # artifacts are machine-readable — the trace renders through the report

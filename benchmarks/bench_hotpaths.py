@@ -39,6 +39,7 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_hotpaths.json")
 MIN_EVALUATOR_SPEEDUP = 5.0
 MIN_SAMPLER_SPEEDUP = 3.0
 MAX_METRIC_DIFF = 1e-9
+MAX_PROPAGATE_DIFF = 1e-9
 
 #: Tracing instrumentation with the tracer disabled (the default) must
 #: cost less than this fraction of an instrumented hot-path run.
@@ -74,6 +75,15 @@ def test_hotpath_throughput(benchmark):
         assert sampler["speedup"] >= MIN_SAMPLER_SPEEDUP, (
             f"{kind} speedup {sampler['speedup']:.2f}x below "
             f"{MIN_SAMPLER_SPEEDUP}x"
+        )
+    for kind in ("propagate/dgcf", "propagate/kgin"):
+        prop = results[kind]
+        # Same math, different op order: FP-roundoff bound only (no
+        # wall-clock floor — the win depends on K and graph density, and
+        # correctness is what the reference path is kept to pin).
+        assert prop["max_abs_diff"] <= MAX_PROPAGATE_DIFF, (
+            f"{kind}: vectorized propagation diverges from the "
+            f"per-intent reference by {prop['max_abs_diff']:.2e}"
         )
 
     if scale == 1.0:

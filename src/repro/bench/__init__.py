@@ -4,6 +4,7 @@ from .hotpaths import (
     HOTPATH_CONFIG,
     HotpathResult,
     bench_evaluator,
+    bench_propagate,
     bench_sampler,
     compare_to_baseline,
     format_hotpath_table,
@@ -48,6 +49,7 @@ __all__ = [
     "Trial",
     "bar_chart",
     "bench_evaluator",
+    "bench_propagate",
     "bench_sampler",
     "build_imcat_recipe",
     "compare_results",

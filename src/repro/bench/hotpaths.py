@@ -209,6 +209,56 @@ def bench_sampler(
     )
 
 
+def bench_propagate(
+    dataset,
+    split,
+    kind: str = "dgcf",
+    embed_dim: int = 64,
+    num_intents: int = 4,
+    repeats: int = 3,
+    seed: int = 0,
+) -> HotpathResult:
+    """Time a baseline's vectorized propagation against its per-intent
+    reference loop (``propagate`` vs ``propagate_reference``).
+
+    ``max_abs_diff`` is the largest entry-wise discrepancy across the
+    user and item outputs; both paths compute the same math, so the
+    acceptance bound is FP-roundoff scale.
+    """
+    from ..models.baselines.dgcf import DGCF
+    from ..models.baselines.kgin import KGIN
+    from ..nn import no_grad
+
+    rng = np.random.default_rng(seed)
+    edges = (split.train.user_ids, split.train.item_ids)
+    if kind == "dgcf":
+        model = DGCF(
+            dataset.num_users, dataset.num_items, edges,
+            embed_dim=embed_dim, num_intents=num_intents, rng=rng,
+        )
+    elif kind == "kgin":
+        model = KGIN(
+            dataset, edges,
+            embed_dim=embed_dim, num_intents=num_intents, rng=rng,
+        )
+    else:
+        raise ValueError(f"kind must be 'dgcf' or 'kgin', got {kind!r}")
+    with no_grad():
+        fast_s, fast = _best_of(model.propagate, repeats)
+        ref_s, ref = _best_of(model.propagate_reference, repeats)
+    diff = max(
+        float(np.max(np.abs(f.data - r.data)))
+        for f, r in zip(fast, ref)
+    )
+    return HotpathResult(
+        name=f"propagate/{kind}",
+        units=dataset.num_users + dataset.num_items,
+        fast_seconds=fast_s,
+        reference_seconds=ref_s,
+        max_abs_diff=diff,
+    )
+
+
 def run_hotpath_suite(
     dataset_name: Optional[str] = None,
     scale: float = 1.0,
@@ -239,6 +289,8 @@ def run_hotpath_suite(
         bench_evaluator(split, repeats=repeats),
         bench_sampler(split.train, "user-item", batch_size, repeats),
         bench_sampler(dataset, "item-tag", batch_size, repeats),
+        bench_propagate(dataset, split, "dgcf", repeats=repeats),
+        bench_propagate(dataset, split, "kgin", repeats=repeats),
     ]
     return {
         "settings": {

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from . import obs
 from .bench import ABLATIONS, EXTRAS, METHODS, BenchSettings, run_method
+from .bench.harness import prepare_split, run_recipe
 from .bench.tables import format_table
 from .data import DATASET_ORDER, compute_statistics, generate_preset
 
@@ -57,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume training: bare --resume picks the newest valid "
              "snapshot under --checkpoint-dir; or pass a checkpoint "
              "file/directory",
+    )
+    run.add_argument(
+        "--retrieval", action="store_true",
+        help="after training, also evaluate through the cluster-routed "
+             "approximate index and print the exact-vs-approximate "
+             "comparison (repro.retrieval)",
+    )
+    run.add_argument(
+        "--n-probe", type=int, default=2, metavar="P",
+        help="partitions probed per user with --retrieval",
     )
     run.add_argument(
         "--trace-out", default=None, metavar="FILE",
@@ -101,7 +112,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         resume_from=args.resume,
     )
     try:
-        cell = run_method(args.dataset, args.method, settings)
+        if args.retrieval:
+            # Keep the split and model around for the approximate pass.
+            recipe = (
+                METHODS.get(args.method)
+                or ABLATIONS.get(args.method)
+                or EXTRAS.get(args.method)
+            )
+            dataset, split = prepare_split(args.dataset, settings)
+            cell = run_recipe(
+                recipe, dataset, split, args.method, settings,
+                keep_model=True,
+            )
+        else:
+            cell = run_method(args.dataset, args.method, settings)
     finally:
         if profiler is not None:
             profiler.stop()
@@ -112,6 +136,42 @@ def cmd_run(args: argparse.Namespace) -> int:
               100 * cell.ndcg, cell.wall_time, cell.epochs_run]],
         )
     )
+    if args.retrieval:
+        from .eval import Evaluator
+        from .retrieval import ApproximateScorer, build_index
+
+        model = cell.trained.model
+        index = build_index(
+            model,
+            popularity=split.train.item_degrees(),
+            seed=args.seed,
+        )
+        scorer = ApproximateScorer(model, index, n_probe=args.n_probe)
+        evaluator = Evaluator(
+            split.train, split.test,
+            top_n=(settings.top_n,), metrics=("recall", "ndcg"),
+        )
+        approx = evaluator.evaluate(scorer)
+        n = settings.top_n
+        scored = scorer.scored_items / max(scorer.queries, 1)
+        print(
+            format_table(
+                ["mode", f"R@{n} (%)", f"N@{n} (%)", "scored/query"],
+                [
+                    ["exact", 100 * cell.recall, 100 * cell.ndcg,
+                     dataset.num_items],
+                    [f"approx (n_probe={args.n_probe})",
+                     100 * approx[f"recall@{n}"],
+                     100 * approx[f"ndcg@{n}"], scored],
+                ],
+                title=(
+                    f"retrieval: {index.num_partitions} partitions "
+                    f"({index.strategy}), "
+                    f"{dataset.num_items / max(scored, 1e-9):.1f}x fewer "
+                    f"scored items"
+                ),
+            )
+        )
     if profiler is not None:
         print(profiler.format_top(args.profile))
     if args.trace_out is not None:

@@ -363,7 +363,10 @@ class IntentAlignment(Module):
             mask = has_tags.astype(np.float64)[:, None]
             components.append(F.scale_rows(normalized, mask))
         if config.align_item:
-            item_sub = intent_view(item_embeddings, intent, config.num_intents)
+            item_sub = intent_view(
+                item_embeddings, intent, config.num_intents,
+                dim=self.intent_dim,
+            )
             components.append(F.l2_normalize(item_sub))
         if not components:
             raise ValueError(
@@ -423,7 +426,9 @@ class IntentAlignment(Module):
             rows = np.arange(batch_size) * k_count + k
             tag_agg = tag_aggregation_all[rows]
             has_tags = tag_counts[:, k] > 0
-            u_view = intent_view(user_aggregation, k, k_count)
+            u_view = intent_view(
+                user_aggregation, k, k_count, dim=self.intent_dim
+            )
             z_view = self.item_tag_view(k, item_embeddings, tag_agg, has_tags)
             # The paper maximises *cosine* similarity (Section IV.B.2),
             # so both projected views are L2-normalised before the logits.

@@ -67,6 +67,9 @@ class IMCAT(Module):
             self.config.num_intents, backbone.embed_dim, eta=self.config.eta, rng=rng
         )
         self.alignment = IntentAlignment(backbone.embed_dim, self.config, rng)
+        # d/K, validated once here — hot-path intent slicing below skips
+        # the per-call divisibility check.
+        self.intent_dim = self.alignment.intent_dim
 
         self._users_of_item = train.users_of_item()
         self._tags_of_item = dataset.tags_of_item()
@@ -112,6 +115,36 @@ class IMCAT(Module):
 
     def refresh_epoch(self, epoch: int) -> None:
         self.backbone.refresh_epoch(epoch)
+
+    def user_repr(self) -> Tensor:
+        return self.backbone.user_repr()
+
+    def item_repr(self) -> Tensor:
+        return self.backbone.item_repr()
+
+    # ------------------------------------------------------------------
+    # learned-structure export (consumed by repro.retrieval)
+    # ------------------------------------------------------------------
+    def item_intent_assignments(self) -> Optional[np.ndarray]:
+        """Hard intent id per item from the learned tag clusters.
+
+        Each item inherits the majority intent of its tags' hard
+        cluster memberships (Eq. 6's assignments, refreshed by the
+        trainer); tagless items carry ``-1`` so consumers can route
+        them separately.  ``None`` before the clustering phase
+        activates — there is no learned structure to export yet.
+        """
+        if not self.clustering_active:
+            return None
+        assignments = np.full(self.num_items, -1, dtype=np.int64)
+        for item, tags in enumerate(self._tags_of_item):
+            if len(tags):
+                votes = np.bincount(
+                    self.tag_clusters[tags],
+                    minlength=self.config.num_intents,
+                )
+                assignments[item] = int(votes.argmax())
+        return assignments
 
     # ------------------------------------------------------------------
     # loss components
@@ -194,7 +227,9 @@ class IMCAT(Module):
         if self.config.num_intents <= 1:
             return Tensor(np.zeros(()))
         items = self.backbone.item_embedding(item_batch)
-        return independence_loss(items, self.config.num_intents)
+        return independence_loss(
+            items, self.config.num_intents, dim=self.intent_dim
+        )
 
     def training_loss(
         self,

@@ -27,15 +27,33 @@ def validate_intent_dims(embed_dim: int, num_intents: int) -> int:
     return embed_dim // num_intents
 
 
-def intent_view(embeddings: Tensor, intent: int, num_intents: int) -> Tensor:
-    """Slice the ``intent``-th sub-embedding block: ``(n, d/K)``."""
-    dim = validate_intent_dims(embeddings.shape[-1], num_intents)
+def intent_view(
+    embeddings: Tensor,
+    intent: int,
+    num_intents: int,
+    dim: int | None = None,
+) -> Tensor:
+    """Slice the ``intent``-th sub-embedding block: ``(n, d/K)``.
+
+    ``dim`` is the sub-embedding size from :func:`validate_intent_dims`;
+    callers on hot paths validate once at construction and pass it here,
+    making the per-call path a pure slice.
+    """
+    if dim is None:
+        dim = validate_intent_dims(embeddings.shape[-1], num_intents)
     return embeddings[:, intent * dim : (intent + 1) * dim]
 
 
-def intent_views(embeddings: Tensor, num_intents: int) -> List[Tensor]:
+def intent_views(
+    embeddings: Tensor, num_intents: int, dim: int | None = None
+) -> List[Tensor]:
     """All ``K`` sub-embedding views of an ``(n, d)`` tensor."""
-    return [intent_view(embeddings, k, num_intents) for k in range(num_intents)]
+    if dim is None:
+        dim = validate_intent_dims(embeddings.shape[-1], num_intents)
+    return [
+        intent_view(embeddings, k, num_intents, dim=dim)
+        for k in range(num_intents)
+    ]
 
 
 def split_intents(array: np.ndarray, num_intents: int) -> np.ndarray:
@@ -45,7 +63,9 @@ def split_intents(array: np.ndarray, num_intents: int) -> np.ndarray:
     return array.reshape(n, num_intents, dim)
 
 
-def independence_loss(embeddings: Tensor, num_intents: int) -> Tensor:
+def independence_loss(
+    embeddings: Tensor, num_intents: int, dim: int | None = None
+) -> Tensor:
     """Penalise correlation between intent sub-embeddings.
 
     Section V.D: "we encourage independence of different intents by
@@ -57,7 +77,10 @@ def independence_loss(embeddings: Tensor, num_intents: int) -> Tensor:
     if num_intents <= 1:
         # Single intent: nothing to disentangle.
         return Tensor(np.zeros(()))
-    views = [F.l2_normalize(v) for v in intent_views(embeddings, num_intents)]
+    views = [
+        F.l2_normalize(v)
+        for v in intent_views(embeddings, num_intents, dim=dim)
+    ]
     total = None
     pairs = 0
     for a in range(num_intents):

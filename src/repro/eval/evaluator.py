@@ -123,6 +123,9 @@ class Evaluator:
         chunk_size: int = 256,
         perf: Optional[StopwatchRegistry] = None,
         tracer: Optional[obs.Tracer] = None,
+        approximate: bool = False,
+        index=None,
+        n_probe: int = 2,
     ) -> EvalResult:
         """Evaluate ``model`` (anything exposing ``all_scores(users)``).
 
@@ -138,9 +141,30 @@ class Evaluator:
                 the process-global tracer); records per-chunk
                 ``eval:score`` / ``eval:rank`` spans and one
                 ``metric:<name>@<n>`` span per configured metric.
+            approximate: rank only the cluster-routed shortlist of each
+                user (see :mod:`repro.retrieval`) instead of the full
+                catalogue.  Off-shortlist items score ``-inf`` and never
+                enter the top-N; ``n_probe = num_partitions`` reproduces
+                the exact result bit-for-bit.
+            index: a prebuilt :class:`repro.retrieval.ClusterIndex`
+                (``None`` builds one from ``model`` on the fly).  A
+                fingerprint mismatch with ``model`` raises
+                :class:`repro.retrieval.IndexMismatch` — approximate
+                eval against a stale index would silently misreport.
+            n_probe: partitions probed per user in approximate mode.
         """
         perf = perf if perf is not None else StopwatchRegistry()
         tracer = obs.resolve_tracer(tracer)
+        if approximate:
+            # Local import: retrieval depends on ckpt/obs, the eval
+            # layer must stay importable without it.
+            from ..retrieval import ApproximateScorer, build_index
+
+            if index is None:
+                index = build_index(model)
+            model = ApproximateScorer(
+                model, index, n_probe=n_probe, tracer=tracer
+            )
         max_n = max(self.top_n)
         chunks: Dict[str, List[np.ndarray]] = {
             f"{m}@{n}": [] for m in self.metric_names for n in self.top_n

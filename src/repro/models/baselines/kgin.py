@@ -84,10 +84,26 @@ class KGIN(TagAwareRecommender):
         # Items aggregate their tags (relational message).
         v1 = v0 + sparse_matmul(self._v_from_t, t0)
         # Users aggregate items through intent channels:
-        # u = sum_k beta_{u,k} * (agg_{i in N(u)} p_k * v_i).
+        # u = sum_k beta_{u,k} * (agg_{i in N(u)} p_k * v_i)
+        #   = base * (beta @ intents) — the per-intent sum collapses to
+        # one matmul because every channel shares the same base message.
         intents = self.intent_vectors()  # (K, d)
         beta = F.softmax(self.user_intent_logits, axis=1)  # (|U|, K)
         base = sparse_matmul(self._u_from_v, v1)  # (|U|, d)
+        u1 = base * (beta @ intents)
+        u_final = (self.user_embedding.all() + u1) * 0.5
+        v_final = (v0 + v1) * 0.5
+        return u_final, v_final
+
+    def propagate_reference(self):  # lint: reference-path
+        """Per-intent loop implementation of :meth:`propagate`, kept as
+        the equivalence baseline for tests and the hot-path benchmarks."""
+        v0 = self.item_embedding.all()
+        t0 = self.tag_embedding.all()
+        v1 = v0 + sparse_matmul(self._v_from_t, t0)
+        intents = self.intent_vectors()
+        beta = F.softmax(self.user_intent_logits, axis=1)
+        base = sparse_matmul(self._u_from_v, v1)
         u1 = None
         for k in range(self.num_intents):
             channel = base * intents[np.array([k])]  # (|U|, d)

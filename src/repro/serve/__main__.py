@@ -39,6 +39,7 @@ from ..bench import (
 from ..bench.harness import prepare_split, run_recipe
 from ..data import DATASET_ORDER
 from ..perf import PerfReport
+from ..retrieval import RetrievalTier
 from .breaker import CLOSED, CircuitBreaker, OPEN
 from .provider import CheckpointModelProvider, default_restore
 from .service import LEVEL_LIVE, RecommendationService
@@ -69,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="train with snapshots under DIR and serve through the "
              "hot-reloading CheckpointModelProvider instead of a static "
              "in-memory model",
+    )
+    parser.add_argument(
+        "--retrieval", action="store_true",
+        help="serve the live rung through a cluster-routed candidate "
+             "index (sub-linear scoring; falls back to exact on any "
+             "index problem)",
+    )
+    parser.add_argument(
+        "--n-probe", type=int, default=2, metavar="P",
+        help="partitions probed per request when --retrieval is on",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=16, metavar="K",
+        help="partition count for indexes built by the retrieval tier",
     )
     parser.add_argument(
         "--chaos", action="store_true",
@@ -124,6 +139,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"trained: R@20={100 * cell.recall:.2f}% in {cell.wall_time:.1f}s")
 
+    retrieval_params = dict(
+        num_partitions=args.partitions,
+        popularity=split.train.item_degrees(),
+        seed=args.seed,
+    )
     if args.checkpoint_dir is not None and args.method in MODEL_BUILDERS:
         builder = MODEL_BUILDERS[args.method]
         provider = CheckpointModelProvider(
@@ -132,6 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 dataset, split, args.embed_dim, np.random.default_rng(0)
             ),
             restore=default_restore,
+            retrieval=args.retrieval,
+            retrieval_params=retrieval_params,
         )
     else:
         if args.checkpoint_dir is not None:
@@ -141,6 +163,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         provider = cell.trained.model
 
+    tier = None
+    if args.retrieval:
+        tier = RetrievalTier(n_probe=args.n_probe, **retrieval_params)
+        print(
+            f"retrieval tier armed: n_probe={args.n_probe} over "
+            f"{args.partitions} partitions"
+        )
+
     # A short recovery time so the half-open probe fires within the run.
     service = RecommendationService(
         provider,
@@ -149,6 +179,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default_deadline=deadline,
         breaker=CircuitBreaker(failure_threshold=3, recovery_time=0.2),
         reload_every=0 if args.checkpoint_dir is None else 10,
+        retrieval=tier,
     )
     if args.checkpoint_dir is not None and args.method in MODEL_BUILDERS:
         outcome = service.poll_reload()
@@ -214,6 +245,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"metrics: {args.metrics_out}")
 
     ok = failures == 0 and empty_answers == 0
+    if args.retrieval:
+        served = health["counters"].get("serve.retrieval.served", 0)
+        if not served:
+            print("RETRIEVAL FAIL: tier never answered a request",
+                  file=sys.stderr)
+        ok = ok and bool(served)
     if args.chaos:
         counts = health["counters"]
         degraded = counts.get("serve.degraded", 0)

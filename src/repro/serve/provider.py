@@ -101,6 +101,17 @@ class CheckpointModelProvider:
         expected_fingerprint: pin the config fingerprint up front;
             ``None`` pins it from the first successfully-loaded
             snapshot.
+        retrieval: maintain a :mod:`repro.retrieval` candidate index
+            alongside the model: on every promotion the provider loads
+            the index persisted next to the snapshot (or builds one and
+            saves it back), verifies it against the candidate's item
+            fingerprint, and swaps ``(model, index)`` as one unit — a
+            serving process can never pair a new model with the old
+            model's routing.  Index problems degrade to ``index() is
+            None`` (exact scoring), never to a failed promotion.
+        retrieval_params: keyword overrides for
+            :func:`repro.retrieval.build_index` (``num_partitions``,
+            ``strategy``, ``popularity``, ``popular_head``, ``seed``).
 
     ``poll()`` never raises for candidate problems — a bad snapshot is
     refused (or rolled back) with a warning and the live model keeps
@@ -115,6 +126,8 @@ class CheckpointModelProvider:
         canary_user: int = 0,
         canary_top_n: int = 5,
         expected_fingerprint: Optional[str] = None,
+        retrieval: bool = False,
+        retrieval_params: Optional[dict] = None,
     ) -> None:
         self.directory = directory
         self._builder = builder
@@ -122,8 +135,11 @@ class CheckpointModelProvider:
         self.canary_user = canary_user
         self.canary_top_n = canary_top_n
         self._fingerprint = expected_fingerprint
+        self.retrieval = retrieval
+        self.retrieval_params = dict(retrieval_params or {})
         self._model: Optional[Any] = None
         self._step: Optional[int] = None
+        self._index: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # provider protocol
@@ -146,6 +162,14 @@ class CheckpointModelProvider:
     def step(self) -> Optional[int]:
         """Training step of the live snapshot (``None`` before a load)."""
         return self._step
+
+    def index(self) -> Optional[Any]:
+        """The candidate index swapped in with the live model.
+
+        ``None`` whenever no index matching the live model exists
+        (retrieval disabled, build failed, fingerprint mismatch) — the
+        retrieval tier treats that as "serve exact"."""
+        return self._index
 
     # ------------------------------------------------------------------
     # reload
@@ -177,15 +201,22 @@ class CheckpointModelProvider:
             )
             return REJECTED
 
+        # The candidate's index is resolved before the swap so model and
+        # index change hands in one assignment: traffic between the two
+        # stores can never score a new model through old routing.
+        index = self._index_for(candidate, int(entry["step"]))
+
         # Gate 3: swap in, then canary-probe the live slot; roll back on
         # any failure so a model that loads but cannot answer never
         # serves traffic.
-        previous_model, previous_step = self._model, self._step
-        self._model, self._step = candidate, int(entry["step"])
+        previous = (self._model, self._step, self._index)
+        self._model, self._step, self._index = (
+            candidate, int(entry["step"]), index,
+        )
         try:
             self._canary(candidate)
         except Exception as err:  # canary must never kill serving
-            self._model, self._step = previous_model, previous_step
+            self._model, self._step, self._index = previous
             warnings.warn(
                 f"canary probe failed for checkpoint {path!r} ({err}); "
                 f"rolled back to {self.version()}",
@@ -196,6 +227,50 @@ class CheckpointModelProvider:
         if self._fingerprint is None:
             self._fingerprint = state.get("fingerprint")
         return RELOADED
+
+    def _index_for(self, candidate: Any, step: int) -> Optional[Any]:
+        """Load (or build and persist) the candidate's routing index.
+
+        Preference order: an ``index-*.npz`` in the checkpoint directory
+        whose fingerprint matches the candidate's item table, else a
+        fresh :func:`repro.retrieval.build_index` saved back next to the
+        snapshot so the next serving process finds it.  Any failure
+        returns ``None`` — a promotion is never blocked on routing.
+        """
+        if not self.retrieval:
+            return None
+        # Local import: the provider must stay importable (and the
+        # default path must stay free of index machinery) without the
+        # retrieval subsystem in play.
+        from ..retrieval import build_index, load_index, save_index
+        from ..retrieval.index import model_fingerprint
+
+        try:
+            fingerprint = model_fingerprint(candidate)
+            index = load_index(
+                self.directory, expected_fingerprint=fingerprint
+            )
+            if index is not None:
+                return index
+            index = build_index(candidate, **self.retrieval_params)
+            try:
+                save_index(index, self.directory, step=step)
+            except Exception as err:
+                warnings.warn(
+                    f"could not persist retrieval index for step {step} "
+                    f"({err}); serving it from memory only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return index
+        except Exception as err:
+            warnings.warn(
+                f"retrieval index unavailable for step {step} ({err}); "
+                f"serving falls back to exact scoring",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
 
     def _newest_entry(self) -> Optional[dict]:
         if not os.path.isdir(self.directory):

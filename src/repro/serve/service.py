@@ -146,6 +146,13 @@ class RecommendationService:
         stale_ttl / stale_entries: stale-response cache tuning.
         reload_every: when positive, ``provider.poll()`` runs every
             N-th request (hot reload piggybacked on traffic).
+        retrieval: optional :class:`repro.retrieval.RetrievalTier`; the
+            live rung then answers from the cluster-routed shortlist
+            (sub-linear in the catalogue) and any retrieval-layer
+            problem — stale index, build failure, thin shortlist —
+            falls back to exact scoring within the same rung, counted
+            under ``serve.retrieval.*``.  The degradation ladder and
+            breaker semantics are unchanged.
         counters / timers: perf registries to share with a wider app
             (a :class:`repro.obs.MetricsRegistry` drops in for
             ``counters`` unchanged).
@@ -171,6 +178,7 @@ class RecommendationService:
         stale_ttl: float = 300.0,
         stale_entries: int = 1024,
         reload_every: int = 0,
+        retrieval: Optional[Any] = None,
         counters: Optional[CounterRegistry] = None,
         timers: Optional[StopwatchRegistry] = None,
         tracer: Optional[obs.Tracer] = None,
@@ -200,6 +208,10 @@ class RecommendationService:
             max_entries=stale_entries, ttl=stale_ttl, clock=clock
         )
         self.reload_every = reload_every
+        self.retrieval = retrieval
+        if retrieval is not None and getattr(retrieval, "counters", None) is None:
+            # Tier outcomes surface in health() with the other counters.
+            retrieval.counters = self.counters
         self._clock = clock
         self._sleep = sleep
         self._rng = np.random.default_rng(jitter_seed)
@@ -338,7 +350,15 @@ class RecommendationService:
                     testing.check(testing.SERVE_SCORE)
                     testing.delay(testing.SERVE_SCORE)
                     model = self.provider.model()
-                    items = model.recommend(user, top_n=top_n, exclude=exclude)
+                    items = None
+                    if self.retrieval is not None:
+                        items = self.retrieval.recommend(
+                            self.provider, user, top_n=top_n, exclude=exclude
+                        )
+                    if items is None:
+                        items = model.recommend(
+                            user, top_n=top_n, exclude=exclude
+                        )
             except ModelUnavailable:
                 raise
             except Exception:

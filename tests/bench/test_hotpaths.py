@@ -28,6 +28,7 @@ class TestSuite:
         assert set(suite_payload) == {"settings", "results"}
         assert set(suite_payload["results"]) == {
             "evaluator", "sampler/user-item", "sampler/item-tag",
+            "propagate/dgcf", "propagate/kgin",
         }
         assert suite_payload["settings"]["dataset"] == HOTPATH_CONFIG.name
 
@@ -36,6 +37,8 @@ class TestSuite:
         assert results["evaluator"]["max_abs_diff"] <= 1e-9
         assert results["sampler/user-item"]["max_abs_diff"] == 0.0
         assert results["sampler/item-tag"]["max_abs_diff"] == 0.0
+        assert results["propagate/dgcf"]["max_abs_diff"] <= 1e-9
+        assert results["propagate/kgin"]["max_abs_diff"] <= 1e-9
 
     def test_throughputs_positive(self, suite_payload):
         for result in suite_payload["results"].values():
@@ -81,7 +84,7 @@ class TestBaselineGate:
         for result in inflated["results"].values():
             result["fast_throughput"] *= 100.0
         failures = compare_to_baseline(suite_payload, inflated, max_regression=2.0)
-        assert len(failures) == 3
+        assert len(failures) == len(suite_payload["results"])
         assert all("below" in f for f in failures)
 
     def test_missing_benchmark_detected(self, suite_payload):

@@ -1,0 +1,41 @@
+"""Shared fixtures for the retrieval tests: one model/index pair.
+
+The model is an untrained BPRMF — retrieval correctness properties
+(routing determinism, exact agreement at full probe, monotone recall)
+hold for *any* embedding table, so there is no reason to pay for
+training in unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import BPRMF
+from repro.retrieval import build_index
+
+NUM_USERS, NUM_ITEMS, DIM = 24, 60, 8
+NUM_PARTITIONS = 6
+HEAD_SIZE = 5
+
+
+@pytest.fixture
+def model():
+    return BPRMF(NUM_USERS, NUM_ITEMS, DIM, rng=np.random.default_rng(3))
+
+
+@pytest.fixture
+def popularity():
+    """Item 0 most popular, descending."""
+    return np.arange(NUM_ITEMS, dtype=np.float64)[::-1].copy()
+
+
+@pytest.fixture
+def index(model, popularity):
+    return build_index(
+        model,
+        num_partitions=NUM_PARTITIONS,
+        popularity=popularity,
+        popular_head=HEAD_SIZE,
+        seed=0,
+    )
