@@ -7,13 +7,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke retrieval-smoke
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke retrieval-smoke concurrency-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
 
 test: lint
 	$(PYTHON) -m pytest -x -q
+
+# Concurrency gate: the whole-program lock-discipline pass
+# (LNT006-LNT010) must exit 0 over src/, and the threaded test subset
+# must run clean under the lockset race/deadlock sanitizer.
+concurrency-smoke:
+	$(PYTHON) -m repro.lint --concurrency src
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -q \
+		tests/testing/test_lockset.py tests/serve/test_concurrency.py \
+		tests/perf/test_thread_safety.py tests/analysis
 
 bench-smoke:
 	$(PYTHON) -m repro.bench smoke

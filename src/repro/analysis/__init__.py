@@ -10,23 +10,45 @@ implements an AST-based linter enforcing those invariants as rules
 and per-file suppression directives, human and JSON reporting, and a
 CLI (:mod:`repro.analysis.cli`) that exits non-zero on findings.
 
+Beyond the per-file rules, ``python -m repro.lint --concurrency`` runs
+the whole-program lock-discipline pass ``LNT006``–``LNT010``
+(:mod:`repro.analysis.concurrency` over the cross-file graph built by
+:mod:`repro.analysis.project`), which checks ``@shared_state`` /
+``@guarded_by`` annotations from :mod:`repro.concurrency`.
+
 The runtime half of the correctness tooling — the autograd numeric
-sanitizer and :func:`repro.nn.gradcheck` — lives in :mod:`repro.nn`.
+sanitizer and :func:`repro.nn.gradcheck` — lives in :mod:`repro.nn`;
+the dynamic lockset race/deadlock sanitizer lives in
+:mod:`repro.testing.lockset`.
 """
 
+from .concurrency import (
+    CONCURRENCY_REGISTRY,
+    ConcurrencyLinter,
+    ConcurrencyRule,
+    iter_concurrency_rules,
+)
 from .directives import Directives
 from .engine import Finding, LintReport, Linter
+from .project import ProjectGraph, SourceUnit, module_name_for
 from .rules import RULE_REGISTRY, Rule, iter_rules
 from .reporting import render_human, render_json
 
 __all__ = [
+    "CONCURRENCY_REGISTRY",
+    "ConcurrencyLinter",
+    "ConcurrencyRule",
     "Directives",
     "Finding",
     "LintReport",
     "Linter",
+    "ProjectGraph",
     "RULE_REGISTRY",
     "Rule",
+    "SourceUnit",
+    "iter_concurrency_rules",
     "iter_rules",
+    "module_name_for",
     "render_human",
     "render_json",
 ]

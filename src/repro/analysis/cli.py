@@ -11,6 +11,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .concurrency import ConcurrencyLinter, iter_concurrency_rules
 from .engine import (
     DEFAULT_ENTRY_PATHS,
     DEFAULT_HOT_PATHS,
@@ -24,13 +25,24 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro.lint`` argument parser (exposed for docs/tests)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="IMCAT project linter (rules LNT001-LNT005)",
+        description=(
+            "IMCAT project linter (rules LNT001-LNT005; "
+            "LNT006-LNT010 with --concurrency)"
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
         help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help=(
+            "run the whole-program lock-discipline pass (LNT006-LNT010) "
+            "instead of the per-file rules"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -83,15 +95,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in iter_rules():
             print(f"{rule.code} {rule.name}: {rule.description}")
+        for rule in iter_concurrency_rules():
+            print(f"{rule.code} {rule.name}: {rule.description} [--concurrency]")
         return 0
 
     try:
-        linter = Linter(
-            select=_codes(args.select),
-            ignore=_codes(args.ignore),
-            hot_paths=tuple(DEFAULT_HOT_PATHS) + tuple(args.hot_path),
-            entry_paths=tuple(DEFAULT_ENTRY_PATHS) + tuple(args.entry_path),
-        )
+        if args.concurrency:
+            linter = ConcurrencyLinter(
+                select=_codes(args.select),
+                ignore=_codes(args.ignore),
+            )
+        else:
+            linter = Linter(
+                select=_codes(args.select),
+                ignore=_codes(args.ignore),
+                hot_paths=tuple(DEFAULT_HOT_PATHS) + tuple(args.hot_path),
+                entry_paths=tuple(DEFAULT_ENTRY_PATHS) + tuple(args.entry_path),
+            )
         report = linter.lint_paths(args.paths)
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)

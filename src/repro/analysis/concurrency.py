@@ -1,0 +1,461 @@
+"""The project-wide concurrency pass: rules LNT006–LNT010.
+
+Unlike the per-file rules in :mod:`repro.analysis.rules`, these run
+over a :class:`~repro.analysis.project.ProjectGraph` built from *every*
+file of the run, because lock discipline is a cross-file property (the
+lock an attribute is guarded by, the order two locks nest in, whether a
+function is reached from a thread entry point).
+
+Rules
+-----
+LNT006  unguarded-shared-write — mutation of ``self.*`` state in a
+        ``@shared_state`` class (or of module globals in code reached
+        from ``threading.Thread`` entry points) without the guard held.
+LNT007  lock-order-cycle — two locks acquired nested in both orders
+        anywhere in the program (classic ABBA deadlock hazard).
+LNT008  blocking-call-under-lock — ``time.sleep``, file I/O,
+        subprocess, or thread ``join`` while holding a lock.
+LNT009  racy-check-then-act — an ``if`` that reads shared state and
+        then writes it, outside the guard (lost-update window).
+LNT010  unlocked-lazy-init — ``if self.x is None: self.x = ...`` (or
+        the module-global twin) outside a lock: two threads can both
+        see ``None`` and initialize twice.
+
+Findings flow through the same :class:`~repro.analysis.directives`
+suppression machinery as LNT001–LNT005 (``# lint: disable=LNT008``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .directives import Directives
+from .engine import DEFAULT_EXCLUDED_DIRS, Linter, LintReport
+from .findings import Finding
+from .project import (
+    INIT_METHODS,
+    CheckThenAct,
+    ClassInfo,
+    FunctionInfo,
+    ProjectGraph,
+    SourceUnit,
+    module_name_for,
+)
+
+
+class ConcurrencyRule:
+    """Registry metadata for one whole-program rule."""
+
+    def __init__(self, code: str, name: str, description: str) -> None:
+        self.code = code
+        self.name = name
+        self.description = description
+
+
+#: The concurrency rules, keyed by code.  Deliberately a separate
+#: registry from ``rules.RULE_REGISTRY`` — the per-file registry is the
+#: per-file API surface and its tests pin its exact contents.
+CONCURRENCY_REGISTRY: Dict[str, ConcurrencyRule] = {
+    rule.code: rule
+    for rule in (
+        ConcurrencyRule(
+            "LNT006",
+            "unguarded-shared-write",
+            "shared state mutated without holding its guard lock",
+        ),
+        ConcurrencyRule(
+            "LNT007",
+            "lock-order-cycle",
+            "locks acquired nested in inconsistent order (deadlock hazard)",
+        ),
+        ConcurrencyRule(
+            "LNT008",
+            "blocking-call-under-lock",
+            "blocking call (sleep, file I/O, subprocess, join) under a lock",
+        ),
+        ConcurrencyRule(
+            "LNT009",
+            "racy-check-then-act",
+            "non-atomic check-then-act on shared state",
+        ),
+        ConcurrencyRule(
+            "LNT010",
+            "unlocked-lazy-init",
+            "lazy initialization of shared state outside a lock",
+        ),
+    )
+}
+
+
+def iter_concurrency_rules() -> List[ConcurrencyRule]:
+    """The concurrency rules in code order."""
+    return [CONCURRENCY_REGISTRY[code] for code in sorted(CONCURRENCY_REGISTRY)]
+
+
+class ConcurrencyLinter:
+    """Runs LNT006–LNT010 over a whole file set at once.
+
+    Mirrors the :class:`~repro.analysis.engine.Linter` surface
+    (``lint_paths`` → :class:`LintReport`) but parses every file into
+    one :class:`ProjectGraph` before any rule runs.
+    """
+
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        excluded_dirs: Sequence[str] = DEFAULT_EXCLUDED_DIRS,
+    ) -> None:
+        active = set(CONCURRENCY_REGISTRY)
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - active
+            if unknown:
+                raise ValueError(
+                    f"unknown rule codes selected: {sorted(unknown)}"
+                )
+            active &= wanted
+        if ignore is not None:
+            active -= set(ignore)
+        self.codes = active
+        # Reuse the per-file engine's discovery walk (same exclusions,
+        # same explicit-file semantics) without running its rules.
+        self._discovery = Linter(rules=[], excluded_dirs=excluded_dirs)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence) -> LintReport:
+        """Build the project graph from ``paths`` and run the rules."""
+        files = self._discovery.discover(paths)
+        sources = [
+            (str(path), Path(path).read_text(encoding="utf-8"))
+            for path in files
+        ]
+        return self.lint_sources(sources)
+
+    def lint_sources(
+        self, sources: Sequence[Tuple[str, str]]
+    ) -> LintReport:
+        """Lint ``(path, source)`` pairs as one program."""
+        report = LintReport()
+        units: List[SourceUnit] = []
+        for path, source in sources:
+            display = Path(path).as_posix()
+            report.files_checked += 1
+            try:
+                tree = ast.parse(source, filename=display)
+            except SyntaxError as exc:
+                report.findings.append(
+                    Finding(
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=exc.offset or 1,
+                        code="LNT000",
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            units.append(
+                SourceUnit(
+                    path=display,
+                    module=module_name_for(display),
+                    source=source,
+                    tree=tree,
+                    directives=Directives.parse(source),
+                )
+            )
+        graph = ProjectGraph.build(units)
+        suppression = {unit.path: unit.directives for unit in units}
+        for finding in self._run_rules(graph):
+            if finding.code not in self.codes:
+                continue
+            directives = suppression.get(finding.path)
+            if directives is not None and directives.is_suppressed(
+                finding.code, finding.line
+            ):
+                continue
+            report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return report
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    def _run_rules(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for func in graph.functions.values():
+            claimed = self._claimed_write_nodes(func)
+            yield from self._lazy_init(func)  # LNT010
+            yield from self._check_then_act(func)  # LNT009
+            yield from self._unguarded_writes(graph, func, claimed)  # LNT006
+            yield from self._blocking_under_lock(func)  # LNT008
+        yield from self._lock_order_cycles(graph)  # LNT007
+
+    # -- LNT006 ---------------------------------------------------------
+    def _claimed_write_nodes(self, func: FunctionInfo) -> Set[int]:
+        """Write nodes already reported through an LNT009/LNT010 ``if``.
+
+        A lazy-init or check-then-act pattern *contains* unguarded
+        writes; reporting those again as LNT006 would bury the precise
+        finding under a generic one.
+        """
+        claimed: Set[int] = set()
+        for check in func.checks:
+            if not self._check_is_guarded(func, check):
+                for node in check.write_nodes:
+                    claimed.add(id(node))
+        return claimed
+
+    def _guard_ids(self, cls: Optional[ClassInfo]) -> Set[str]:
+        return cls.guard_lock_ids() if cls is not None else set()
+
+    def _write_is_guarded(
+        self, func: FunctionInfo, held: Tuple[str, ...]
+    ) -> bool:
+        cls = func.cls
+        if cls is not None and cls.shared:
+            guards = self._guard_ids(cls)
+            if guards:
+                return bool(guards & set(held))
+        # No declared/discoverable guard: any held lock counts.
+        return bool(held)
+
+    def _unguarded_writes(
+        self,
+        graph: ProjectGraph,
+        func: FunctionInfo,
+        claimed: Set[int],
+    ) -> Iterator[Finding]:
+        if func.name in INIT_METHODS:
+            return
+        cls = func.cls
+        shared_method = cls is not None and cls.shared
+        threaded = func.qualname in graph.thread_reachable
+        if shared_method:
+            skip = cls.exempt | cls.lock_attrs
+            guard_names = ", ".join(sorted(self._guard_ids(cls))) or "a lock"
+            for node, attr, held in func.attr_writes:
+                if attr in skip or id(node) in claimed:
+                    continue
+                if self._write_is_guarded(func, held):
+                    continue
+                yield _finding(
+                    func,
+                    node,
+                    "LNT006",
+                    f"write to shared attribute self.{attr} of "
+                    f"@shared_state class {cls.name} without holding "
+                    f"{guard_names}; wrap in `with self."
+                    f"{cls.guard or next(iter(sorted(cls.lock_attrs)), '_lock')}:`"
+                    f" or mark the method @guarded_by",
+                )
+        elif threaded and cls is not None:
+            for node, attr, held in func.attr_writes:
+                if id(node) in claimed or held:
+                    continue
+                yield _finding(
+                    func,
+                    node,
+                    "LNT006",
+                    f"self.{attr} is written by thread-entry code "
+                    f"({func.qualname} is reached from a threading.Thread "
+                    f"target) without any lock held",
+                )
+        if threaded:
+            for node, name, held in func.global_writes:
+                if held or id(node) in claimed:
+                    continue
+                yield _finding(
+                    func,
+                    node,
+                    "LNT006",
+                    f"module global {name!r} is written by thread-reachable "
+                    f"code without a module lock held",
+                )
+
+    # -- LNT007 ---------------------------------------------------------
+    def _lock_order_cycles(self, graph: ProjectGraph) -> Iterator[Finding]:
+        # Edge a -> b: lock b acquired while a is held, either lexically
+        # or through one resolved call hop.  Sites remember first use.
+        edges: Dict[str, Dict[str, Tuple[FunctionInfo, ast.AST]]] = {}
+
+        def add_edge(a: str, b: str, func: FunctionInfo, node: ast.AST) -> None:
+            if a == b:
+                return  # reentrant same-lock nesting is LNT-neutral
+            edges.setdefault(a, {}).setdefault(b, (func, node))
+
+        for func in graph.functions.values():
+            for lock_id, node, held in func.acquisitions:
+                for prior in held:
+                    add_edge(prior, lock_id, func, node)
+            for call, held, callee in func.calls:
+                if not held or callee is None:
+                    continue
+                target = graph.functions.get(callee)
+                if target is None:
+                    continue
+                inner = set(target.acquired)
+                if target.guarded_by:
+                    inner.discard(target.guarded_by)
+                for lock_id in inner:
+                    for prior in held:
+                        add_edge(prior, lock_id, func, call)
+
+        for component in _cycles(edges):
+            scc = set(component)
+            sites = sorted(
+                (
+                    (func.path, node.lineno, a, b, func, node)
+                    for a, targets in edges.items()
+                    if a in scc
+                    for b, (func, node) in targets.items()
+                    if b in scc
+                ),
+            )
+            if not sites:
+                continue
+            path, line, a, b, func, node = sites[0]
+            order = " -> ".join(sorted(scc))
+            locations = "; ".join(
+                f"{x} then {y} at {p}:{l}" for p, l, x, y, _, _ in sites[:4]
+            )
+            yield _finding(
+                func,
+                node,
+                "LNT007",
+                f"inconsistent lock acquisition order among {{{order}}} "
+                f"(deadlock hazard): {locations}",
+            )
+
+    # -- LNT008 ---------------------------------------------------------
+    def _blocking_under_lock(self, func: FunctionInfo) -> Iterator[Finding]:
+        for node, held, label in func.blocking:
+            if not held:
+                continue
+            yield _finding(
+                func,
+                node,
+                "LNT008",
+                f"blocking call {label} while holding "
+                f"{', '.join(sorted(set(held)))}; move the blocking work "
+                f"outside the critical section",
+            )
+
+    # -- LNT009 / LNT010 ------------------------------------------------
+    def _check_is_guarded(
+        self, func: FunctionInfo, check: CheckThenAct
+    ) -> bool:
+        if check.scope == "global":
+            return bool(check.held)
+        return self._write_is_guarded(func, check.held)
+
+    def _check_then_act(self, func: FunctionInfo) -> Iterator[Finding]:
+        if func.name in INIT_METHODS:
+            return
+        for check in func.checks:
+            if check.kind != "cta" or self._check_is_guarded(func, check):
+                continue
+            yield _finding(
+                func,
+                check.node,
+                "LNT009",
+                f"non-atomic check-then-act on self.{check.attr}: the test "
+                f"and the mutation must happen under one lock or another "
+                f"thread can interleave between them",
+            )
+
+    def _lazy_init(self, func: FunctionInfo) -> Iterator[Finding]:
+        if func.name in INIT_METHODS:
+            return
+        for check in func.checks:
+            if check.kind != "lazy" or self._check_is_guarded(func, check):
+                continue
+            subject = (
+                f"module global {check.attr!r}"
+                if check.scope == "global"
+                else f"self.{check.attr}"
+            )
+            yield _finding(
+                func,
+                check.node,
+                "LNT010",
+                f"thread-unsafe lazy initialization of {subject}: two "
+                f"threads can both observe None and initialize twice; "
+                f"hold the guard lock around the check and the assignment",
+            )
+
+
+def _finding(
+    func: FunctionInfo, node: ast.AST, code: str, message: str
+) -> Finding:
+    return Finding(
+        path=func.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+def _cycles(edges: Dict[str, Dict[str, object]]) -> List[List[str]]:
+    """Strongly connected components with ≥2 nodes (Tarjan)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    out: List[List[str]] = []
+    nodes = set(edges) | {b for targets in edges.values() for b in targets}
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: recursion depth is unbounded on long chains.
+        work = [(v, iter(sorted(edges.get(v, ()))))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1:
+                    out.append(sorted(component))
+
+    for v in sorted(nodes):
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+__all__ = [
+    "CONCURRENCY_REGISTRY",
+    "ConcurrencyLinter",
+    "ConcurrencyRule",
+    "iter_concurrency_rules",
+]

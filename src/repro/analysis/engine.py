@@ -34,6 +34,7 @@ DEFAULT_EXCLUDED_DIRS: Tuple[str, ...] = (
     ".git",
     ".venv",
     "_lint_fixtures",
+    "fixtures",
 )
 
 

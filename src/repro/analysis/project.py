@@ -1,0 +1,762 @@
+"""Whole-program model powering the concurrency pass (LNT006–LNT010).
+
+The per-file rules of :mod:`repro.analysis.rules` see one AST at a
+time; lock discipline is a *program* property.  This module parses
+every file of a lint run into one :class:`ProjectGraph`:
+
+- **symbols** — every module-level function and class method, with
+  class annotations (``@shared_state`` / ``@guarded_by``) and the lock
+  attributes each class constructs;
+- **locks** — module-level and ``self.*`` lock objects, identified by
+  stable ids (``module.Class._lock`` / ``module.LOCK``) so acquisitions
+  in different files refer to the same lock;
+- **calls** — a conservative call graph (same-module names, ``self.``
+  methods, and imported names), used to propagate lock acquisition
+  across function boundaries and to compute which functions are
+  reachable from ``threading.Thread(target=...)`` entry points;
+- **events** — per function: lock acquisitions with the locks already
+  held, attribute/global writes with the locks held at the write,
+  blocking calls under a lock, and check-then-act / lazy-init ``if``
+  patterns.
+
+Everything is syntactic and conservative: an expression counts as a
+lock when it resolves to a known lock attribute/global (or its name
+contains ``lock``), a call is resolved only when its target is
+unambiguous, and nested ``def`` bodies are skipped (they run at another
+time, under other locks).  The rules in
+:mod:`repro.analysis.concurrency` consume the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .directives import Directives
+
+#: Methods whose writes happen before the object is shared.
+INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: Constructor names recognised as producing a lock object.
+LOCK_FACTORIES = frozenset({"new_lock", "new_rlock", "SanitizedLock"})
+
+#: ``threading.<attr>`` constructors producing a lock object.
+THREADING_LOCKS = frozenset({"Lock", "RLock"})
+
+#: Methods that mutate a built-in container in place (``self.X.pop()``
+#: counts as a write to ``self.X``).
+CONTAINER_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "setdefault", "pop", "popitem",
+        "clear", "remove", "discard", "move_to_end", "update", "set",
+        "appendleft", "popleft",
+    }
+)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/serve/cache.py`` → ``repro.serve.cache``; files outside
+    a recognised package root fall back to their stem, which keeps lock
+    ids readable for fixture files.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for root in ("src", "lib"):
+        if root in parts:
+            parts = parts[parts.index(root) + 1 :]
+            break
+    else:
+        # Keep only the trailing package-ish components.
+        parts = parts[-1:]
+    return ".".join(parts) if parts else Path(path).stem
+
+
+@dataclass(frozen=True)
+class SourceUnit:
+    """One parsed file of the project."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    directives: Directives
+
+
+@dataclass
+class CheckThenAct:
+    """One ``if <reads shared>: <writes shared>`` pattern."""
+
+    node: ast.If
+    attr: str
+    kind: str  # "lazy" (is-None init) or "cta" (check-then-act)
+    held: Tuple[str, ...]
+    write_nodes: List[ast.AST] = field(default_factory=list)
+    scope: str = "attr"  # "attr" or "global"
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or class method plus its events."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    node: ast.AST
+    cls: Optional["ClassInfo"] = None
+    guarded_by: Optional[str] = None  # lock id claimed held by callers
+    # events, filled by the second pass
+    acquisitions: List[Tuple[str, ast.AST, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    calls: List[Tuple[ast.Call, Tuple[str, ...], Optional[str]]] = field(
+        default_factory=list
+    )
+    blocking: List[Tuple[ast.AST, Tuple[str, ...], str]] = field(
+        default_factory=list
+    )
+    attr_writes: List[Tuple[ast.AST, str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    global_writes: List[Tuple[ast.AST, str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    checks: List[CheckThenAct] = field(default_factory=list)
+
+    @property
+    def acquired(self) -> Set[str]:
+        """Every lock id this function acquires lexically."""
+        return {lid for lid, _, _ in self.acquisitions}
+
+
+@dataclass
+class ClassInfo:
+    """One class: annotations, lock attributes, methods."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    shared: bool = False
+    guard: Optional[str] = None  # declared guard attribute name
+    exempt: frozenset = frozenset()
+    lock_attrs: Set[str] = field(default_factory=set)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def guard_lock_ids(self) -> Set[str]:
+        """Lock ids accepted as guarding this class's state."""
+        if self.guard:
+            return {f"{self.qualname}.{self.guard}"}
+        return {f"{self.qualname}.{attr}" for attr in sorted(self.lock_attrs)}
+
+
+@dataclass
+class ProjectGraph:
+    """The cross-file symbol/call/lock graph of one lint run."""
+
+    units: List[SourceUnit] = field(default_factory=list)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    module_locks: Dict[str, Set[str]] = field(default_factory=dict)
+    imports: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: Functions handed to ``threading.Thread(target=...)``.
+    thread_entries: Set[str] = field(default_factory=set)
+    #: ``thread_entries`` plus everything reachable via resolved calls.
+    thread_reachable: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, units: Sequence[SourceUnit]) -> "ProjectGraph":
+        graph = cls(units=list(units))
+        for unit in units:
+            graph._index_unit(unit)
+        for unit in units:
+            graph._collect_events(unit)
+        graph._close_thread_reachability()
+        return graph
+
+    # -- pass 1: symbols, imports, locks, annotations ------------------
+    def _index_unit(self, unit: SourceUnit) -> None:
+        imports: Dict[str, str] = {}
+        self.imports[unit.module] = imports
+        self.module_locks.setdefault(unit.module, set())
+        for node in unit.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.Assign):
+                if self._is_lock_ctor(node.value, imports):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.module_locks[unit.module].add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{unit.module}.{node.name}",
+                    name=node.name,
+                    module=unit.module,
+                    path=unit.path,
+                    node=node,
+                )
+                self.functions[info.qualname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(unit, node, imports)
+
+    def _index_class(
+        self, unit: SourceUnit, node: ast.ClassDef, imports: Dict[str, str]
+    ) -> None:
+        info = ClassInfo(
+            qualname=f"{unit.module}.{node.name}",
+            name=node.name,
+            module=unit.module,
+            path=unit.path,
+            node=node,
+        )
+        for decorator in node.decorator_list:
+            name, call = _decorator_parts(decorator)
+            if name == "shared_state":
+                info.shared = True
+                if call is not None:
+                    for keyword in call.keywords:
+                        if keyword.arg == "guard":
+                            info.guard = _const_str(keyword.value)
+                        elif keyword.arg == "exempt":
+                            info.exempt = frozenset(
+                                v
+                                for v in _const_str_tuple(keyword.value)
+                                if v
+                            )
+            elif name == "guarded_by" and call is not None and call.args:
+                info.guard = _const_str(call.args[0])
+                info.shared = True
+        self.classes[info.qualname] = info
+        for child in node.body:
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            method = FunctionInfo(
+                qualname=f"{info.qualname}.{child.name}",
+                name=child.name,
+                module=unit.module,
+                path=unit.path,
+                node=child,
+                cls=info,
+            )
+            for decorator in child.decorator_list:
+                name, call = _decorator_parts(decorator)
+                if name == "guarded_by" and call is not None and call.args:
+                    attr = _const_str(call.args[0])
+                    if attr:
+                        method.guarded_by = f"{info.qualname}.{attr}"
+            info.methods[child.name] = method
+            self.functions[method.qualname] = method
+            if child.name in INIT_METHODS:
+                self._discover_lock_attrs(info, child, imports)
+
+    def _discover_lock_attrs(
+        self, info: ClassInfo, init: ast.AST, imports: Dict[str, str]
+    ) -> None:
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                value = node.value
+                if self._is_lock_ctor(value, imports) or (
+                    isinstance(value, ast.Name)
+                    and "lock" in value.id.lower()
+                ):
+                    info.lock_attrs.add(target.attr)
+
+    def _is_lock_ctor(self, node: ast.expr, imports: Dict[str, str]) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            qualified = imports.get(func.id, func.id)
+            return (
+                func.id in LOCK_FACTORIES
+                or qualified
+                in {"threading.Lock", "threading.RLock"}
+                or qualified.rsplit(".", 1)[-1] in LOCK_FACTORIES
+            )
+        if isinstance(func, ast.Attribute):
+            if func.attr in THREADING_LOCKS | LOCK_FACTORIES:
+                base = func.value
+                if isinstance(base, ast.Name):
+                    return imports.get(base.id, base.id) in (
+                        "threading",
+                        "repro.concurrency",
+                        "concurrency",
+                    )
+        return False
+
+    # -- pass 2: per-function events -----------------------------------
+    def _collect_events(self, unit: SourceUnit) -> None:
+        for info in self.functions.values():
+            if info.path != unit.path:
+                continue
+            _EventWalker(self, unit, info).run()
+
+    # -- pass 3: thread reachability -----------------------------------
+    def _close_thread_reachability(self) -> None:
+        frontier = list(self.thread_entries)
+        seen = set(frontier)
+        while frontier:
+            qualname = frontier.pop()
+            info = self.functions.get(qualname)
+            if info is None:
+                continue
+            for _, _, callee in info.calls:
+                if callee is not None and callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        self.thread_reachable = seen
+
+    # ------------------------------------------------------------------
+    # resolution helpers (shared with the event walker)
+    # ------------------------------------------------------------------
+    def resolve_lock(
+        self, expr: ast.expr, func: FunctionInfo
+    ) -> Optional[str]:
+        """Stable lock id for an expression, or ``None``.
+
+        ``self.X`` resolves against the owning class's discovered lock
+        attributes (or the ``lock`` name heuristic); bare names resolve
+        against module-level locks, imported lock names, then the
+        heuristic.
+        """
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                if func.cls is not None and (
+                    expr.attr in func.cls.lock_attrs
+                    or "lock" in expr.attr.lower()
+                ):
+                    return f"{func.cls.qualname}.{expr.attr}"
+                return None
+            if isinstance(base, ast.Name):
+                target = self.imports.get(func.module, {}).get(base.id)
+                if target and expr.attr in self.module_locks.get(target, ()):
+                    return f"{target}.{expr.attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module_locks.get(func.module, ()):
+                return f"{func.module}.{expr.id}"
+            imported = self.imports.get(func.module, {}).get(expr.id)
+            if imported:
+                module, _, name = imported.rpartition(".")
+                if name in self.module_locks.get(module, ()):
+                    return f"{module}.{name}"
+            if "lock" in expr.id.lower():
+                return f"{func.module}.{expr.id}"
+        return None
+
+    def resolve_call(
+        self, call: ast.Call, func: FunctionInfo
+    ) -> Optional[str]:
+        """Qualname of the called project function, or ``None``."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            imported = self.imports.get(func.module, {}).get(target.id)
+            if imported and imported in self.functions:
+                return imported
+            local = f"{func.module}.{target.id}"
+            if local in self.functions:
+                return local
+            return None
+        if isinstance(target, ast.Attribute):
+            base = target.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and func.cls is not None
+            ):
+                qualname = f"{func.cls.qualname}.{target.attr}"
+                if qualname in self.functions:
+                    return qualname
+                return None
+            if isinstance(base, ast.Name):
+                module = self.imports.get(func.module, {}).get(base.id)
+                if module:
+                    qualname = f"{module}.{target.attr}"
+                    if qualname in self.functions:
+                        return qualname
+        return None
+
+    def is_thread_ctor(self, call: ast.Call, func: FunctionInfo) -> bool:
+        """Whether ``call`` constructs a ``threading.Thread``."""
+        target = call.func
+        imports = self.imports.get(func.module, {})
+        if isinstance(target, ast.Name):
+            return imports.get(target.id) == "threading.Thread" or (
+                target.id == "Thread"
+            )
+        if isinstance(target, ast.Attribute) and target.attr == "Thread":
+            base = target.value
+            return isinstance(base, ast.Name) and imports.get(
+                base.id, base.id
+            ) == "threading"
+        return False
+
+
+# ----------------------------------------------------------------------
+# the per-function event walker
+# ----------------------------------------------------------------------
+class _EventWalker:
+    """Walks one function body tracking the set of locks held."""
+
+    BLOCKING_ATTRS = frozenset(
+        {"read_text", "write_text", "read_bytes", "write_bytes"}
+    )
+    SUBPROCESS_CALLS = frozenset(
+        {"run", "call", "check_call", "check_output", "Popen"}
+    )
+    THREADY = ("thread", "worker", "proc", "pool", "future")
+
+    def __init__(
+        self, graph: ProjectGraph, unit: SourceUnit, info: FunctionInfo
+    ) -> None:
+        self.graph = graph
+        self.unit = unit
+        self.info = info
+        self.globals: Set[str] = {
+            name
+            for node in ast.walk(info.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+
+    def run(self) -> None:
+        held: Tuple[str, ...] = ()
+        if self.info.guarded_by:
+            held = (self.info.guarded_by,)
+        body = getattr(self.info.node, "body", [])
+        for stmt in body:
+            self._walk(stmt, held)
+
+    # -- recursive walk -------------------------------------------------
+    def _walk(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested callables run at another time, under other locks —
+            # their bodies are opaque to this pass.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: List[str] = []
+            for item in node.items:
+                self._walk(item.context_expr, held)
+                lock_id = self.graph.resolve_lock(item.context_expr, self.info)
+                if lock_id is not None:
+                    self.info.acquisitions.append((lock_id, node, held))
+                    acquired.append(lock_id)
+            inner = held + tuple(l for l in acquired if l not in held)
+            for stmt in node.body:
+                self._walk(stmt, inner)
+            return
+        if isinstance(node, ast.If):
+            self._match_check_then_act(node, held)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held)
+            return
+        if isinstance(node, ast.Call):
+            self._handle_call(node, held)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            self._handle_write(node, held)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    # -- writes ---------------------------------------------------------
+    def _write_targets(self, node: ast.AST) -> List[ast.expr]:
+        if isinstance(node, ast.Assign):
+            out: List[ast.expr] = []
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    out.extend(target.elts)
+                else:
+                    out.append(target)
+            return out
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        if isinstance(node, ast.Delete):
+            return list(node.targets)
+        return []
+
+    def _handle_write(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        for target in self._write_targets(node):
+            attr = _root_self_attr(target)
+            if attr is not None:
+                self.info.attr_writes.append((node, attr, held))
+                continue
+            if isinstance(target, ast.Name) and target.id in self.globals:
+                self.info.global_writes.append((node, target.id, held))
+
+    def _handle_call(self, node: ast.Call, held: Tuple[str, ...]) -> None:
+        callee = self.graph.resolve_call(node, self.info)
+        self.info.calls.append((node, held, callee))
+        # threading.Thread(target=...) registers an entry point.
+        if self.graph.is_thread_ctor(node, self.info):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    entry = self._resolve_target(keyword.value)
+                    if entry is not None:
+                        self.graph.thread_entries.add(entry)
+                        self.graph.thread_reachable.add(entry)
+        # container mutation through a self attribute is a write
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in CONTAINER_MUTATORS
+        ):
+            attr = _root_self_attr(func.value)
+            if attr is not None:
+                self.info.attr_writes.append((node, attr, held))
+        label = self._blocking_label(node)
+        if label is not None:
+            self.info.blocking.append((node, held, label))
+
+    def _resolve_target(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            local = f"{self.info.module}.{expr.id}"
+            if local in self.graph.functions:
+                return local
+            imported = self.graph.imports.get(self.info.module, {}).get(expr.id)
+            if imported in self.graph.functions:
+                return imported
+            return None
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.info.cls is not None
+        ):
+            qualname = f"{self.info.cls.qualname}.{expr.attr}"
+            if qualname in self.graph.functions:
+                return qualname
+        return None
+
+    # -- blocking calls -------------------------------------------------
+    def _blocking_label(self, node: ast.Call) -> Optional[str]:
+        imports = self.graph.imports.get(self.info.module, {})
+        func = node.func
+        if isinstance(func, ast.Name):
+            qualified = imports.get(func.id, "")
+            if func.id == "open":
+                return "open()"
+            if qualified == "time.sleep" or (
+                func.id == "sleep" and qualified.endswith("sleep")
+            ):
+                return "time.sleep()"
+            if qualified.startswith("subprocess."):
+                return f"subprocess.{qualified.rsplit('.', 1)[-1]}()"
+            return None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = imports.get(base.id, base.id)
+            if func.attr == "sleep" and base_name == "time":
+                return "time.sleep()"
+            if (
+                func.attr in self.SUBPROCESS_CALLS
+                and base_name == "subprocess"
+            ):
+                return f"subprocess.{func.attr}()"
+            if base_name == "os" and func.attr in {"system", "popen", "waitpid"}:
+                return f"os.{func.attr}()"
+            if func.attr in self.BLOCKING_ATTRS:
+                return f".{func.attr}() file I/O"
+            if func.attr == "join":
+                receiver = _last_identifier(base)
+                if receiver is not None and any(
+                    hint in receiver.lower() for hint in self.THREADY
+                ):
+                    return f"{receiver}.join()"
+        return None
+
+    # -- check-then-act / lazy-init patterns ----------------------------
+    def _match_check_then_act(
+        self, node: ast.If, held: Tuple[str, ...]
+    ) -> None:
+        cls = self.info.cls
+        if cls is not None and cls.shared:
+            skip = cls.exempt | cls.lock_attrs
+            written = self._writes_in(node, skip)
+            if written:
+                lazy_attr = self._lazy_test_attr(node.test)
+                if lazy_attr is not None and lazy_attr in written:
+                    self.info.checks.append(
+                        CheckThenAct(
+                            node=node,
+                            attr=lazy_attr,
+                            kind="lazy",
+                            held=held,
+                            write_nodes=written[lazy_attr],
+                        )
+                    )
+                    return
+                read = self._attrs_read(node.test) - skip
+                overlap = sorted(read & set(written))
+                if overlap:
+                    attr = overlap[0]
+                    self.info.checks.append(
+                        CheckThenAct(
+                            node=node,
+                            attr=attr,
+                            kind="cta",
+                            held=held,
+                            write_nodes=[
+                                n for a in overlap for n in written[a]
+                            ],
+                        )
+                    )
+            return
+        # module-global lazy init (outside classes)
+        lazy_global = self._lazy_global_test(node.test)
+        if lazy_global is not None and lazy_global in self.globals:
+            writes = [
+                stmt
+                for stmt in ast.walk(node)
+                if isinstance(stmt, (ast.Assign, ast.AugAssign))
+                and any(
+                    isinstance(t, ast.Name) and t.id == lazy_global
+                    for t in self._write_targets(stmt)
+                )
+            ]
+            if writes:
+                self.info.checks.append(
+                    CheckThenAct(
+                        node=node,
+                        attr=lazy_global,
+                        kind="lazy",
+                        held=held,
+                        write_nodes=writes,
+                        scope="global",
+                    )
+                )
+
+    def _writes_in(
+        self, node: ast.If, skip: Set[str]
+    ) -> Dict[str, List[ast.AST]]:
+        written: Dict[str, List[ast.AST]] = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+                for target in self._write_targets(sub):
+                    attr = _root_self_attr(target)
+                    if attr is not None and attr not in skip:
+                        written.setdefault(attr, []).append(sub)
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CONTAINER_MUTATORS
+                ):
+                    attr = _root_self_attr(func.value)
+                    if attr is not None and attr not in skip:
+                        written.setdefault(attr, []).append(sub)
+        return written
+
+    def _lazy_test_attr(self, test: ast.expr) -> Optional[str]:
+        """``self.X is None`` → ``"X"``."""
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return _root_self_attr(test.left)
+        return None
+
+    def _lazy_global_test(self, test: ast.expr) -> Optional[str]:
+        """``NAME is None`` → ``"NAME"``."""
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.left, ast.Name)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            return test.left.id
+        return None
+
+    def _attrs_read(self, test: ast.expr) -> Set[str]:
+        return {
+            sub.attr
+            for sub in ast.walk(test)
+            if isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        }
+
+
+# ----------------------------------------------------------------------
+# small shared helpers
+# ----------------------------------------------------------------------
+def _root_self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` / ``self.X[k]`` / ``self.X.Y`` → ``"X"``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(parent, ast.Name)
+            and parent.id == "self"
+        ):
+            return node.attr
+        node = parent
+    return None
+
+
+def _last_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _decorator_parts(node: ast.expr) -> Tuple[Optional[str], Optional[ast.Call]]:
+    """Decorator node → (base name, call node when parameterised)."""
+    if isinstance(node, ast.Call):
+        name, _ = _decorator_parts(node.func)
+        return name, node
+    if isinstance(node, ast.Name):
+        return node.id, None
+    if isinstance(node, ast.Attribute):
+        return node.attr, None
+    return None, None
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _const_str_tuple(node: ast.expr) -> Tuple[Optional[str], ...]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_const_str(elt) for elt in node.elts)
+    single = _const_str(node)
+    return (single,) if single is not None else ()

@@ -20,6 +20,8 @@ import math
 import threading
 from typing import Dict, List, Optional, Sequence
 
+from ..concurrency import new_lock, shared_state
+
 
 def exponential_buckets(
     start: float = 0.001, factor: float = 2.0, count: int = 14
@@ -38,6 +40,7 @@ def exponential_buckets(
     return [start * factor**i for i in range(count)]
 
 
+@shared_state(guard="_lock")
 class Counter:
     """A monotonically increasing value."""
 
@@ -53,6 +56,7 @@ class Counter:
             self.value += amount
 
 
+@shared_state(guard="_lock")
 class Gauge:
     """A last-value metric that can go up and down."""
 
@@ -73,6 +77,7 @@ class Gauge:
             self.updates += 1
 
 
+@shared_state(guard="_lock")
 class Histogram:
     """Cumulative-bucket histogram (Prometheus semantics).
 
@@ -125,15 +130,20 @@ class Histogram:
             return float("inf")
 
 
+@shared_state(guard="_lock")
 class MetricsRegistry:
     """Named counters, gauges, and histograms behind one lock.
 
     Counter-compatible with :class:`repro.perf.CounterRegistry` so it
     drops into every existing ``counters=`` parameter unchanged.
+
+    The registry shares its one lock with every instrument it creates:
+    instrument mutations and registry snapshots can never interleave,
+    and there is a single lock order by construction.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.MetricsRegistry")
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}

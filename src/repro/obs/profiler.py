@@ -22,6 +22,8 @@ import time
 from collections import Counter as _Counter
 from typing import Dict, List, Optional, Tuple
 
+from ..concurrency import new_lock, shared_state
+
 
 def _collapse(frame, limit: int = 64) -> Tuple[str, str]:
     """(collapsed stack root->leaf, leaf function) for one frame."""
@@ -36,6 +38,7 @@ def _collapse(frame, limit: int = 64) -> Tuple[str, str]:
     return ";".join(parts), leaf
 
 
+@shared_state(guard="_lock", exempt=("_stop",))
 class SamplingProfiler:
     """Periodic stack sampler for one thread.
 
@@ -49,6 +52,13 @@ class SamplingProfiler:
         with SamplingProfiler(interval=0.005) as prof:
             expensive_work()
         print(prof.format_top())
+
+    Thread safety: lifecycle state (``_target``, ``_thread``) and the
+    sample aggregates share one lock; the stop :class:`threading.Event`
+    synchronises itself (hence exempt).  ``stop`` grabs the thread
+    handle under the lock but joins it *outside* — the sampler thread
+    takes the same lock to record each sample, so joining while holding
+    it would deadlock (the shape LNT008 exists to catch).
     """
 
     def __init__(
@@ -65,29 +75,39 @@ class SamplingProfiler:
         self._samples = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.SamplingProfiler")
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "SamplingProfiler":
-        if self._thread is not None:
-            raise RuntimeError("profiler already started")
-        if self._target is None:
-            self._target = threading.get_ident()
-        self._stop.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-obs-profiler", daemon=True
-        )
-        self._thread.start()
+        # The started-check and the lazy target pin must be atomic with
+        # the thread-slot write: two racing start() calls could both see
+        # "not started" and spawn two samplers (and the second caller's
+        # thread id would silently clobber the first's target).
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("profiler already started")
+            if self._target is None:
+                self._target = threading.get_ident()
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._run, name="repro-obs-profiler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
         return self
 
     def stop(self) -> None:
-        if self._thread is None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
             return
         self._stop.set()
-        self._thread.join(timeout=2.0)
-        self._thread = None
+        # Join outside the lock: the sampler thread needs it to record
+        # its final sample before exiting.
+        thread.join(timeout=2.0)
 
     def __enter__(self) -> "SamplingProfiler":
         return self.start()

@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..concurrency import new_lock, shared_state
+
 
 @dataclass
 class TraceSpan:
@@ -108,17 +110,24 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+@shared_state(guard="_lock", exempt=("_local", "enabled"))
 class Tracer:
     """Collects a span tree for one process/run.
 
     Args:
         enabled: record spans (``False`` makes :meth:`span` a near-free
             no-op).
+
+    The per-thread span stacks live in ``_local`` (no lock needed);
+    the finished-span list and the id counter share ``_lock``.
+    ``enabled`` is a single boolean flip toggled from the enable/
+    disable admin hooks — atomic in CPython — and exempting it keeps
+    the disabled fast path lock-free.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.Tracer")
         self._local = threading.local()
         self._spans: List[TraceSpan] = []
         self._next_id = 1
@@ -205,7 +214,9 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self._next_id = 1
-        self._local = threading.local()
+            # Swapping the thread-local holder inside the lock keeps a
+            # reset atomic with respect to concurrent span bookkeeping.
+            self._local = threading.local()
 
 
 def iter_children(

@@ -13,16 +13,18 @@ costs.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
 
+from ..concurrency import new_lock, shared_state
 
+
+@shared_state(guard="_lock")
 class CounterRegistry:
     """Named integer counters with a tiny increment API."""
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
-        self._lock = threading.Lock()
+        self._lock = new_lock("perf.CounterRegistry")
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment ``name`` by ``amount`` (creates it at zero)."""

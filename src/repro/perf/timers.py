@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from ..concurrency import new_lock, shared_state
+
 
 @dataclass
 class TimerStat:
@@ -57,6 +59,7 @@ class TimerStat:
         }
 
 
+@shared_state(guard="_lock", exempt=("_local", "_stack"))
 class StopwatchRegistry:
     """Collects nested named timings for one run.
 
@@ -67,12 +70,15 @@ class StopwatchRegistry:
             with perf.timed("forward"):
                 ...
         perf.total("epoch/forward")  # seconds inside the nested scope
+
+    The aggregates sit under ``_lock``; the nesting stack is per-thread
+    state in ``_local`` (hence exempt from lock discipline).
     """
 
     def __init__(self) -> None:
         self._stats: Dict[str, TimerStat] = {}
         self._local = threading.local()
-        self._lock = threading.Lock()
+        self._lock = new_lock("perf.StopwatchRegistry")
 
     @property
     def _stack(self) -> List[str]:

@@ -28,6 +28,7 @@ from typing import Any, Iterable, Optional, Set
 import numpy as np
 
 from .. import obs
+from ..concurrency import new_rlock, shared_state
 from ..nn import no_grad
 from .index import (
     ClusterIndex,
@@ -221,8 +222,17 @@ class ApproximateScorer:
         return scores
 
 
+@shared_state(guard="_lock")
 class RetrievalTier:
     """Serving-side index lifecycle: reuse, rebuild, degrade — never raise.
+
+    Thread safety: the cached ``(index, version)`` pair changes hands
+    under a reentrant mutex, so a hot reload observed by one request
+    thread cannot race another into serving a new model through the old
+    model's routing (the check-then-act in :meth:`index_for` is exactly
+    the LNT009 shape when unguarded).  Holding the lock across a
+    rebuild also means concurrent requests share one build instead of
+    racing duplicate ones.
 
     Args:
         n_probe: partitions probed per request.
@@ -264,6 +274,7 @@ class RetrievalTier:
         self.popularity = popularity
         self.counters = counters
         self.tracer = obs.resolve_tracer(tracer)
+        self._lock = new_rlock("retrieval.RetrievalTier")
         self._index = index
         self._version: Optional[str] = None
 
@@ -286,28 +297,29 @@ class RetrievalTier:
             if index is not None:
                 return index
         version = provider.version()
-        if self._index is not None:
-            if self._version is None:
-                # Pin a prebuilt index to the version it first serves.
-                self._version = version
-            if self._version == version:
-                return self._index
-            self._count("serve.retrieval.stale")
-            self._index = None
-        if not self.auto_build:
-            return None
-        with self.tracer.span("retrieval:build", version=version):
-            self._index = build_index(
-                model,
-                num_partitions=self.num_partitions,
-                strategy=self.strategy,
-                popularity=self.popularity,
-                popular_head=self.popular_head,
-                seed=self.seed,
-            )
-        self._version = version
-        self._count("serve.retrieval.builds")
-        return self._index
+        with self._lock:
+            if self._index is not None:
+                if self._version is None:
+                    # Pin a prebuilt index to the version it first serves.
+                    self._version = version
+                if self._version == version:
+                    return self._index
+                self._count("serve.retrieval.stale")
+                self._index = None
+            if not self.auto_build:
+                return None
+            with self.tracer.span("retrieval:build", version=version):
+                self._index = build_index(
+                    model,
+                    num_partitions=self.num_partitions,
+                    strategy=self.strategy,
+                    popularity=self.popularity,
+                    popular_head=self.popular_head,
+                    seed=self.seed,
+                )
+            self._version = version
+            self._count("serve.retrieval.builds")
+            return self._index
 
     def recommend(
         self,
@@ -339,7 +351,8 @@ class RetrievalTier:
             items = retriever.recommend(user, top_n=top_n, exclude=exclude)
         except IndexMismatch:
             self._count("serve.retrieval.stale")
-            self._index = None
+            with self._lock:
+                self._index = None
             return None
         except Exception:
             self._count("serve.retrieval.errors")

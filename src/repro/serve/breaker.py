@@ -14,12 +14,22 @@ Classic three-state design (closed → open → half-open):
 The clock is injectable so tests drive transitions deterministically,
 and every transition is reported through ``on_transition`` so the
 serving layer can count them (`serve.breaker.*` perf counters).
+
+Thread safety: one reentrant mutex serialises the whole
+allow/record/transition protocol — ``allow`` in half-open is a
+check-then-act on the probe budget (two unsynchronised probes could
+both pass a ``half_open_probes=1`` gate), and the consecutive-failure
+counter must not lose increments under concurrent scoring threads.
+``on_transition`` fires while the lock is held; callbacks must not call
+back into the breaker (counter bumps, the only production use, do not).
 """
 
 from __future__ import annotations
 
 import time
 from typing import Callable, Optional
+
+from ..concurrency import guarded_by, new_rlock, shared_state
 
 #: Breaker state names (also used in health reports and counters).
 CLOSED = "closed"
@@ -31,6 +41,7 @@ class CircuitOpen(RuntimeError):
     """Raised internally when the breaker rejects a request."""
 
 
+@shared_state(guard="_lock")
 class CircuitBreaker:
     """Consecutive-failure circuit breaker with timed recovery.
 
@@ -66,6 +77,7 @@ class CircuitBreaker:
         self.half_open_probes = half_open_probes
         self._clock = clock
         self._on_transition = on_transition
+        self._lock = new_rlock("serve.CircuitBreaker")
         self._state = CLOSED
         self._failures = 0
         self._opened_at = 0.0
@@ -78,9 +90,11 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, accounting for recovery-time expiry."""
-        self._maybe_half_open()
-        return self._state
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
 
+    @guarded_by("_lock")
     def _transition(self, new_state: str) -> None:
         old = self._state
         if old == new_state:
@@ -96,6 +110,7 @@ class CircuitBreaker:
         if self._on_transition is not None:
             self._on_transition(old, new_state)
 
+    @guarded_by("_lock")
     def _maybe_half_open(self) -> None:
         if (
             self._state == OPEN
@@ -108,35 +123,42 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """Whether the next request may use the live path."""
-        self._maybe_half_open()
-        if self._state == CLOSED:
-            return True
-        if self._state == HALF_OPEN:
-            if self._probes_in_flight < self.half_open_probes:
-                self._probes_in_flight += 1
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
                 return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
             return False
-        return False
 
     def record_success(self) -> None:
         """Report a live request that succeeded."""
-        if self._state == HALF_OPEN:
-            self._probe_successes += 1
-            if self._probe_successes >= self.half_open_probes:
-                self._transition(CLOSED)
-        else:
-            self._failures = 0
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._transition(CLOSED)
+            else:
+                self._failures = 0
 
     def record_failure(self) -> None:
         """Report a live request that failed (error or deadline miss)."""
-        if self._state == HALF_OPEN:
-            self._transition(OPEN)
-            return
-        self._failures += 1
-        if self._state == CLOSED and self._failures >= self.failure_threshold:
-            self._transition(OPEN)
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            self._failures += 1
+            if (
+                self._state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
 
     def reset(self) -> None:
         """Force-close the breaker (admin/testing hook)."""
-        self._transition(CLOSED)
-        self._failures = 0
+        with self._lock:
+            self._transition(CLOSED)
+            self._failures = 0

@@ -10,6 +10,12 @@ Bounded by entry count with least-recently-*used* eviction; expiry is
 lazy (checked on read) plus an explicit :meth:`purge_expired` sweep so
 the health probe can report an honest entry count.  The clock is
 injectable for deterministic tests.
+
+Thread safety: a single mutex serialises every operation.  ``get`` is
+check-then-act (lookup, expiry test, delete-or-touch) over an
+``OrderedDict``, so without the lock two threads can race a concurrent
+``put`` into a ``KeyError`` on the ``move_to_end``/``del`` — the
+concurrency pass (LNT009) flags exactly that shape when unguarded.
 """
 
 from __future__ import annotations
@@ -18,7 +24,10 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional, Tuple
 
+from ..concurrency import new_lock, shared_state
 
+
+@shared_state(guard="_lock")
 class TTLCache:
     """LRU cache whose entries expire ``ttl`` seconds after insertion.
 
@@ -42,14 +51,16 @@ class TTLCache:
         self.max_entries = max_entries
         self.ttl = ttl
         self._clock = clock
+        self._lock = new_lock("serve.TTLCache")
         self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh ``key`` (restarts its TTL, marks it fresh)."""
-        self._entries[key] = (self._clock() + self.ttl, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, or ``None`` when absent or expired.
@@ -57,29 +68,37 @@ class TTLCache:
         A hit refreshes LRU recency (not the TTL); an expired entry is
         dropped on sight.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        expires, value = entry
-        if self._clock() >= expires:
-            del self._entries[key]
-            return None
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            expires, value = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return value
 
     def purge_expired(self) -> int:
         """Drop every expired entry; returns how many were removed."""
-        now = self._clock()
-        stale = [key for key, (expires, _) in self._entries.items() if now >= expires]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            now = self._clock()
+            stale = [
+                key
+                for key, (expires, _) in self._entries.items()
+                if now >= expires
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         return self.get(key) is not None

@@ -31,6 +31,7 @@ import numpy as np
 
 from .. import testing
 from ..ckpt import CheckpointManager, checksum, decode_state
+from ..concurrency import new_rlock, shared_state
 
 #: Poll outcomes (also used as `serve.reload.*` counter suffixes).
 RELOADED = "reloaded"
@@ -62,8 +63,14 @@ def default_restore(model: Any, state: dict) -> Any:
     return model
 
 
+@shared_state
 class StaticModelProvider:
-    """Serve one fixed in-memory model (no reload)."""
+    """Serve one fixed in-memory model (no reload).
+
+    Immutable after construction, so it is safely shared across
+    threads without a lock; the ``@shared_state`` annotation lets the
+    sanitizer verify that nothing mutates it post-init.
+    """
 
     def __init__(self, model: Any, version: str = "static") -> None:
         self._model = model
@@ -85,6 +92,7 @@ class StaticModelProvider:
         return UNCHANGED
 
 
+@shared_state(guard="_lock")
 class CheckpointModelProvider:
     """Hot-reloading provider backed by a ``repro.ckpt`` directory.
 
@@ -116,6 +124,15 @@ class CheckpointModelProvider:
     ``poll()`` never raises for candidate problems — a bad snapshot is
     refused (or rolled back) with a warning and the live model keeps
     serving.
+
+    Thread safety: ``(model, step, index, fingerprint)`` swap as one
+    unit under a reentrant mutex, so scoring threads calling
+    :meth:`model`/:meth:`index` during a background ``poll()`` see
+    either the old generation or the new one, never a mix.  The slow
+    work — reading the payload, validating, building the candidate and
+    its routing index — happens *outside* the lock (blocking I/O under
+    a lock is exactly what LNT008 flags); only the swap, the canary
+    probe, and a possible rollback run inside it.
     """
 
     def __init__(
@@ -137,6 +154,7 @@ class CheckpointModelProvider:
         self._fingerprint = expected_fingerprint
         self.retrieval = retrieval
         self.retrieval_params = dict(retrieval_params or {})
+        self._lock = new_rlock("serve.CheckpointModelProvider")
         self._model: Optional[Any] = None
         self._step: Optional[int] = None
         self._index: Optional[Any] = None
@@ -145,23 +163,29 @@ class CheckpointModelProvider:
     # provider protocol
     # ------------------------------------------------------------------
     def model(self) -> Any:
-        if self._model is None:
-            raise ModelUnavailable(
-                f"no valid checkpoint loaded yet from {self.directory!r} "
-                f"(call poll() after the first snapshot lands)"
-            )
-        return self._model
+        with self._lock:
+            if self._model is None:
+                raise ModelUnavailable(
+                    f"no valid checkpoint loaded yet from {self.directory!r} "
+                    f"(call poll() after the first snapshot lands)"
+                )
+            return self._model
 
     def ready(self) -> bool:
-        return self._model is not None
+        with self._lock:
+            return self._model is not None
 
     def version(self) -> str:
-        return "unloaded" if self._step is None else f"ckpt-step-{self._step}"
+        with self._lock:
+            if self._step is None:
+                return "unloaded"
+            return f"ckpt-step-{self._step}"
 
     @property
     def step(self) -> Optional[int]:
         """Training step of the live snapshot (``None`` before a load)."""
-        return self._step
+        with self._lock:
+            return self._step
 
     def index(self) -> Optional[Any]:
         """The candidate index swapped in with the live model.
@@ -169,7 +193,8 @@ class CheckpointModelProvider:
         ``None`` whenever no index matching the live model exists
         (retrieval disabled, build failed, fingerprint mismatch) — the
         retrieval tier treats that as "serve exact"."""
-        return self._index
+        with self._lock:
+            return self._index
 
     # ------------------------------------------------------------------
     # reload
@@ -185,11 +210,16 @@ class CheckpointModelProvider:
         entry = self._newest_entry()
         if entry is None:
             return UNCHANGED
-        if self._step is not None and int(entry["step"]) <= self._step:
-            return UNCHANGED
+        step = int(entry["step"])
+        with self._lock:
+            if self._step is not None and step <= self._step:
+                return UNCHANGED
         path = os.path.join(self.directory, entry["file"])
 
         # Gate 1+2: checksum and fingerprint validation, then build.
+        # Deliberately outside the lock: payload reads and model
+        # construction are slow, and scoring threads must keep getting
+        # the live model while a candidate is prepared.
         try:
             candidate, state = self._validate_and_build(path, entry)
         except _CandidateRejected as err:
@@ -204,29 +234,33 @@ class CheckpointModelProvider:
         # The candidate's index is resolved before the swap so model and
         # index change hands in one assignment: traffic between the two
         # stores can never score a new model through old routing.
-        index = self._index_for(candidate, int(entry["step"]))
+        index = self._index_for(candidate, step)
 
         # Gate 3: swap in, then canary-probe the live slot; roll back on
         # any failure so a model that loads but cannot answer never
-        # serves traffic.
-        previous = (self._model, self._step, self._index)
-        self._model, self._step, self._index = (
-            candidate, int(entry["step"]), index,
-        )
-        try:
-            self._canary(candidate)
-        except Exception as err:  # canary must never kill serving
-            self._model, self._step, self._index = previous
-            warnings.warn(
-                f"canary probe failed for checkpoint {path!r} ({err}); "
-                f"rolled back to {self.version()}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return ROLLED_BACK
-        if self._fingerprint is None:
-            self._fingerprint = state.get("fingerprint")
-        return RELOADED
+        # serves traffic.  The swap/canary/rollback triple runs under
+        # the lock as one atomic generation change.
+        with self._lock:
+            if self._step is not None and step <= self._step:
+                # a concurrent poll promoted this (or a newer) snapshot
+                # while we were building; keep the winner.
+                return UNCHANGED
+            previous = (self._model, self._step, self._index)
+            self._model, self._step, self._index = (candidate, step, index)
+            try:
+                self._canary(candidate)
+            except Exception as err:  # canary must never kill serving
+                self._model, self._step, self._index = previous
+                warnings.warn(
+                    f"canary probe failed for checkpoint {path!r} ({err}); "
+                    f"rolled back to {self.version()}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return ROLLED_BACK
+            if self._fingerprint is None:
+                self._fingerprint = state.get("fingerprint")
+            return RELOADED
 
     def _index_for(self, candidate: Any, step: int) -> Optional[Any]:
         """Load (or build and persist) the candidate's routing index.

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Set
 import numpy as np
 
 from .. import obs, testing
+from ..concurrency import new_lock, shared_state
 from ..eval.metrics import rank_items
 from ..perf import CounterRegistry, StopwatchRegistry
 from .breaker import CLOSED, CircuitBreaker
@@ -127,8 +128,17 @@ class ServeResponse:
         return self.level != LEVEL_LIVE
 
 
+@shared_state(guard="_lock")
 class RecommendationService:
     """Hardened top-N serving over any provider/model.
+
+    Thread safety: the service's own mutable state — the request
+    counter driving piggybacked reloads and the lazily-built popularity
+    fallback — sits under one mutex; everything else it touches
+    (breaker, stale cache, provider, perf registries) synchronises
+    itself.  Scoring, retries, and backoff sleeps all run outside the
+    lock, so concurrent requests only serialise for a few counter
+    updates.
 
     Args:
         provider: a model provider (``model() / ready() / version() /
@@ -215,6 +225,7 @@ class RecommendationService:
         self._clock = clock
         self._sleep = sleep
         self._rng = np.random.default_rng(jitter_seed)
+        self._lock = new_lock("serve.RecommendationService")
         self._popularity = (
             None if popularity is None
             else np.asarray(popularity, dtype=np.float64)
@@ -264,8 +275,11 @@ class RecommendationService:
         start = self._clock()
         with self.tracer.span("serve:request", user=user) as span:
             self.counters.add("serve.requests")
-            self._requests_seen += 1
-            if self.reload_every and self._requests_seen % self.reload_every == 0:
+            with self._lock:
+                self._requests_seen += 1
+                seen = self._requests_seen
+            # Reload outside the lock: provider polls do file I/O.
+            if self.reload_every and seen % self.reload_every == 0:
                 self.poll_reload()
 
             budget = deadline if deadline is not None else self.default_deadline
@@ -401,14 +415,17 @@ class RecommendationService:
         return rank_items(scores, exclude, top_n)
 
     def _popularity_scores(self) -> Optional[np.ndarray]:
-        if self._popularity is None:
-            try:
-                num_items = self.provider.model().num_items
-            except Exception:
-                return None
-            # Uniform scores: an arbitrary but valid, in-range ranking.
-            self._popularity = np.zeros(num_items, dtype=np.float64)
-        return self._popularity
+        # Lazy init under the lock: two degraded requests racing here
+        # would otherwise both build (and one would clobber) the table.
+        with self._lock:
+            if self._popularity is None:
+                try:
+                    num_items = self.provider.model().num_items
+                except Exception:
+                    return None
+                # Uniform scores: an arbitrary but valid, in-range ranking.
+                self._popularity = np.zeros(num_items, dtype=np.float64)
+            return self._popularity
 
     def _validate_user_range(self, user: int) -> None:
         if not self.provider.ready():

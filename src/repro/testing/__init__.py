@@ -5,6 +5,11 @@ middle of a checkpoint write, torn/garbled file writes, and slow
 backends — the scenarios the :mod:`repro.ckpt` and :mod:`repro.serve`
 subsystems must survive.  All hooks are no-ops unless a fault is armed,
 so production code can call them unconditionally.
+
+The concurrency counterpart lives in :mod:`repro.testing.lockset`: an
+Eraser-style lockset race sanitizer plus a runtime lock-order watchdog
+(arm with :func:`lockset.arm`/:func:`lockset.sanitize`, or run the
+whole suite under ``REPRO_SANITIZE=1``).
 """
 
 from .faults import (
@@ -26,23 +31,37 @@ from .faults import (
     filter_bytes,
     reset,
 )
+from .lockset import (
+    ConcurrencyHazard,
+    DeadlockHazard,
+    RaceHazard,
+    SanitizedLock,
+    sanitize,
+)
+from . import lockset
 
 __all__ = [
     "CKPT_AFTER_REPLACE",
     "CKPT_BEFORE_REPLACE",
     "CKPT_MANIFEST_WRITE",
     "CKPT_PAYLOAD_WRITE",
+    "ConcurrencyHazard",
     "CrashPoint",
     "DATA_CACHE_WRITE",
+    "DeadlockHazard",
     "FaultyWrites",
     "Latency",
+    "RaceHazard",
     "SERVE_RELOAD",
     "SERVE_SCORE",
+    "SanitizedLock",
     "SimulatedCrash",
     "TRAINER_EPOCH",
     "TRAINER_STEP",
     "check",
     "delay",
     "filter_bytes",
+    "lockset",
     "reset",
+    "sanitize",
 ]

@@ -1,0 +1,18 @@
+"""LNT006 clean twin: every write happens under the declared guard."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class Counter:
+    def __init__(self):
+        self._lock = new_lock("fixture.Counter")
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value = self.value + 1
+
+    def read(self):
+        with self._lock:
+            return self.value

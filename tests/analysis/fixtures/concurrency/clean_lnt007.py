@@ -1,0 +1,21 @@
+"""LNT007 clean twin: both call sites take the locks in one order."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+state_a = {}
+state_b = {}
+
+
+def move_a_to_b(key):
+    with LOCK_A:
+        with LOCK_B:
+            state_b[key] = state_a.pop(key, None)
+
+
+def move_b_to_a(key):
+    with LOCK_A:
+        with LOCK_B:
+            state_a[key] = state_b.pop(key, None)

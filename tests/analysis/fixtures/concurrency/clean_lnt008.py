@@ -1,0 +1,12 @@
+"""LNT008 clean twin: the sleep happens outside the critical section."""
+
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def throttled_flush():
+    time.sleep(0.1)
+    with LOCK:
+        pass

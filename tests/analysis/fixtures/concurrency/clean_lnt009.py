@@ -1,0 +1,17 @@
+"""LNT009 clean twin: the test and the mutation share one lock scope."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class Tally:
+    def __init__(self):
+        self._lock = new_lock("fixture.Tally")
+        self._counts = {}
+
+    def bump(self, key):
+        with self._lock:
+            if key in self._counts:
+                self._counts[key] += 1
+            else:
+                self._counts[key] = 1

@@ -1,0 +1,19 @@
+"""LNT010 clean twin: the lazy check and assignment sit under the lock."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class TableHolder:
+    def __init__(self):
+        self._lock = new_lock("fixture.TableHolder")
+        self._table = None
+
+    def table(self):
+        with self._lock:
+            if self._table is None:
+                self._table = self._build()
+            return self._table
+
+    def _build(self):
+        return {"ready": True}

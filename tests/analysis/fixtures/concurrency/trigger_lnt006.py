@@ -1,0 +1,13 @@
+"""LNT006 trigger: @shared_state attribute written without the guard."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class Counter:
+    def __init__(self):
+        self._lock = new_lock("fixture.Counter")
+        self.value = 0
+
+    def bump(self):
+        self.value = self.value + 1

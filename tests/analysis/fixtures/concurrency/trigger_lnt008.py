@@ -1,0 +1,11 @@
+"""LNT008 trigger: time.sleep while holding a module lock."""
+
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def throttled_flush():
+    with LOCK:
+        time.sleep(0.1)

@@ -1,0 +1,16 @@
+"""LNT009 trigger: check-then-act on shared state outside the guard."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class Tally:
+    def __init__(self):
+        self._lock = new_lock("fixture.Tally")
+        self._counts = {}
+
+    def bump(self, key):
+        if key in self._counts:
+            self._counts[key] += 1
+        else:
+            self._counts[key] = 1

@@ -1,0 +1,18 @@
+"""LNT010 trigger: unlocked lazy initialization of a shared attribute."""
+
+from repro.concurrency import new_lock, shared_state
+
+
+@shared_state(guard="_lock")
+class TableHolder:
+    def __init__(self):
+        self._lock = new_lock("fixture.TableHolder")
+        self._table = None
+
+    def table(self):
+        if self._table is None:
+            self._table = self._build()
+        return self._table
+
+    def _build(self):
+        return {"ready": True}

@@ -1,0 +1,244 @@
+"""Whole-program concurrency rules (LNT006–LNT010): fixture corpus,
+cross-file resolution, suppression, and selection behaviour."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CONCURRENCY_REGISTRY,
+    ConcurrencyLinter,
+    iter_concurrency_rules,
+    module_name_for,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "concurrency"
+
+ALL_CODES = ("LNT006", "LNT007", "LNT008", "LNT009", "LNT010")
+
+
+def lint_fixture(name: str, **linter_kw):
+    return ConcurrencyLinter(**linter_kw).lint_paths([FIXTURES / name])
+
+
+def lint_sources(sources, **linter_kw):
+    return ConcurrencyLinter(**linter_kw).lint_sources(sources)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(CONCURRENCY_REGISTRY) == list(ALL_CODES)
+
+    def test_rules_have_metadata(self):
+        for code, rule in CONCURRENCY_REGISTRY.items():
+            assert rule.code == code
+            assert rule.name
+            assert rule.description
+
+    def test_iter_is_code_ordered(self):
+        assert [rule.code for rule in iter_concurrency_rules()] == list(
+            ALL_CODES
+        )
+
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="unknown rule codes"):
+            ConcurrencyLinter(select=["LNT999"])
+
+
+class TestFixtureCorpus:
+    """Each trigger yields exactly its one finding; each twin is clean."""
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_trigger_yields_exactly_its_finding(self, code):
+        report = lint_fixture(f"trigger_{code.lower()}.py")
+        assert [f.code for f in report.findings] == [code], [
+            (f.code, f.line, f.message) for f in report.findings
+        ]
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_clean_twin_is_clean(self, code):
+        report = lint_fixture(f"clean_{code.lower()}.py")
+        assert report.findings == []
+
+    def test_findings_carry_location_and_message(self):
+        report = lint_fixture("trigger_lnt006.py")
+        (finding,) = report.findings
+        assert finding.path.endswith("trigger_lnt006.py")
+        assert finding.line > 1
+        assert "shared" in finding.message
+
+    def test_whole_corpus_in_one_graph(self):
+        """All fixtures linted together still yield one finding each —
+        the clean twins must not perturb the triggers' analysis."""
+        report = ConcurrencyLinter().lint_paths(
+            [FIXTURES / f"{kind}_{code.lower()}.py"
+             for code in ALL_CODES
+             for kind in ("trigger", "clean")]
+        )
+        assert sorted(f.code for f in report.findings) == list(ALL_CODES)
+
+
+class TestCrossFile:
+    def test_lock_order_cycle_across_modules(self):
+        """ABBA split over two files, the locks imported from a third."""
+        locks = (
+            "import threading\n"
+            "ALPHA = threading.Lock()\n"
+            "BETA = threading.Lock()\n"
+        )
+        one = (
+            "from shared_locks import ALPHA, BETA\n"
+            "def forward():\n"
+            "    with ALPHA:\n"
+            "        with BETA:\n"
+            "            pass\n"
+        )
+        two = (
+            "from shared_locks import ALPHA, BETA\n"
+            "def backward():\n"
+            "    with BETA:\n"
+            "        with ALPHA:\n"
+            "            pass\n"
+        )
+        report = lint_sources(
+            [
+                ("src/shared_locks.py", locks),
+                ("src/one.py", one),
+                ("src/two.py", two),
+            ]
+        )
+        assert [f.code for f in report.findings] == ["LNT007"]
+        assert "shared_locks.ALPHA" in report.findings[0].message
+
+    def test_thread_reachable_global_write(self):
+        source = (
+            "import threading\n"
+            "TOTAL = 0\n"
+            "def worker():\n"
+            "    global TOTAL\n"
+            "    TOTAL = TOTAL + 1\n"
+            "def start():\n"
+            "    thread = threading.Thread(target=worker)\n"
+            "    thread.start()\n"
+            "    return thread\n"
+        )
+        report = lint_sources([("src/jobs.py", source)])
+        assert [f.code for f in report.findings] == ["LNT006"]
+        assert "TOTAL" in report.findings[0].message
+
+    def test_same_code_unreached_by_threads_is_clean(self):
+        source = (
+            "TOTAL = 0\n"
+            "def worker():\n"
+            "    global TOTAL\n"
+            "    TOTAL = TOTAL + 1\n"
+        )
+        report = lint_sources([("src/jobs.py", source)])
+        assert report.findings == []
+
+
+class TestAnnotationSemantics:
+    def test_guarded_by_method_is_clean(self):
+        source = (
+            "from repro.concurrency import guarded_by, new_lock, "
+            "shared_state\n"
+            "@shared_state(guard='_lock')\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = new_lock('box')\n"
+            "        self.n = 0\n"
+            "    @guarded_by('_lock')\n"
+            "    def _bump_locked(self):\n"
+            "        self.n += 1\n"
+        )
+        report = lint_sources([("src/box.py", source)])
+        assert report.findings == []
+
+    def test_exempt_attr_is_clean(self):
+        source = (
+            "from repro.concurrency import new_lock, shared_state\n"
+            "@shared_state(guard='_lock', exempt=('_scratch',))\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = new_lock('box')\n"
+            "        self._scratch = None\n"
+            "    def note(self, value):\n"
+            "        self._scratch = value\n"
+        )
+        report = lint_sources([("src/box.py", source)])
+        assert report.findings == []
+
+    def test_init_writes_are_exempt(self):
+        source = (
+            "from repro.concurrency import new_lock, shared_state\n"
+            "@shared_state(guard='_lock')\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = new_lock('box')\n"
+            "        self.n = 0\n"
+            "        if self.n == 0:\n"
+            "            self.n = 1\n"
+        )
+        report = lint_sources([("src/box.py", source)])
+        assert report.findings == []
+
+
+class TestSuppression:
+    def test_inline_disable_silences_finding(self):
+        source = (
+            "import threading\n"
+            "import time\n"
+            "LOCK = threading.Lock()\n"
+            "def flush():\n"
+            "    with LOCK:\n"
+            "        time.sleep(0.1)  # lint: disable=LNT008\n"
+        )
+        assert lint_sources([("src/slow.py", source)]).findings == []
+
+    def test_disable_of_other_code_does_not_silence(self):
+        source = (
+            "import threading\n"
+            "import time\n"
+            "LOCK = threading.Lock()\n"
+            "def flush():\n"
+            "    with LOCK:\n"
+            "        time.sleep(0.1)  # lint: disable=LNT006\n"
+        )
+        report = lint_sources([("src/slow.py", source)])
+        assert [f.code for f in report.findings] == ["LNT008"]
+
+
+class TestSelection:
+    def test_select_narrows_to_one_rule(self):
+        report = lint_fixture("trigger_lnt008.py", select=["LNT006"])
+        assert report.findings == []
+
+    def test_ignore_drops_rule(self):
+        report = lint_fixture("trigger_lnt008.py", ignore=["LNT008"])
+        assert report.findings == []
+
+    def test_syntax_error_reported_as_lnt000(self):
+        report = lint_sources([("src/broken.py", "def f(:\n")])
+        assert [f.code for f in report.findings] == ["LNT000"]
+
+
+class TestModuleNames:
+    def test_src_root_is_stripped(self):
+        assert (
+            module_name_for("src/repro/obs/metrics.py")
+            == "repro.obs.metrics"
+        )
+
+    def test_bare_file_uses_stem(self):
+        assert module_name_for("scratch.py") == "scratch"
+
+
+class TestProductionTreeIsClean:
+    def test_src_passes_the_concurrency_gate(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        report = ConcurrencyLinter().lint_paths([src])
+        assert report.findings == [], [
+            (f.path, f.line, f.code) for f in report.findings
+        ]

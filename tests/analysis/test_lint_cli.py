@@ -12,6 +12,7 @@ from repro.analysis.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "_lint_fixtures"
+CONCURRENCY_FIXTURES = Path(__file__).parent / "fixtures" / "concurrency"
 
 
 def run_cli(*args):
@@ -69,6 +70,56 @@ class TestFormats:
         assert proc.returncode == 0
         for code in ("LNT001", "LNT002", "LNT003", "LNT004", "LNT005"):
             assert code in proc.stdout
+
+
+class TestConcurrencyFlag:
+    def test_src_tree_passes_the_gate(self):
+        proc = run_cli("--concurrency", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_trigger_fixture_exits_nonzero(self):
+        proc = run_cli(
+            "--concurrency", str(CONCURRENCY_FIXTURES / "trigger_lnt008.py")
+        )
+        assert proc.returncode == 1
+        assert "LNT008" in proc.stdout
+
+    def test_clean_fixture_exits_zero(self):
+        proc = run_cli(
+            "--concurrency", str(CONCURRENCY_FIXTURES / "clean_lnt008.py")
+        )
+        assert proc.returncode == 0
+
+    def test_list_rules_includes_concurrency_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("LNT006", "LNT007", "LNT008", "LNT009", "LNT010"):
+            assert code in proc.stdout
+        assert "--concurrency" in proc.stdout
+
+    def test_json_format(self):
+        proc = run_cli(
+            "--concurrency",
+            str(CONCURRENCY_FIXTURES / "trigger_lnt010.py"),
+            "--format",
+            "json",
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        codes = {f["code"] for f in payload["findings"]}
+        assert codes == {"LNT010"}
+
+    def test_in_process_select(self, capsys):
+        status = main(
+            [
+                "--concurrency",
+                str(CONCURRENCY_FIXTURES / "trigger_lnt009.py"),
+                "--select",
+                "LNT006",
+            ]
+        )
+        assert status == 0
 
 
 class TestInProcessMain:

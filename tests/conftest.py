@@ -2,12 +2,44 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data import generate_preset, split_dataset
 
 from .helpers import tiny_dataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockset_sanitizer():
+    """Run the whole suite under the lockset sanitizer when asked.
+
+    ``REPRO_SANITIZE=1`` arms :mod:`repro.testing.lockset` for the
+    session: every ``new_lock`` becomes a SanitizedLock feeding the
+    lock-order watchdog, and every ``@shared_state`` write runs the
+    Eraser lockset check.  The obs module globals are re-created after
+    arming because their locks were built at import time, before the
+    sanitized factory was installed.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro import obs
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import Tracer
+    from repro.testing import lockset
+
+    lockset.arm()
+    previous_metrics = obs.set_metrics(MetricsRegistry())
+    previous_tracer = obs.set_tracer(Tracer(enabled=False))
+    try:
+        yield
+    finally:
+        obs.set_metrics(previous_metrics)
+        obs.set_tracer(previous_tracer)
+        lockset.disarm()
 
 
 @pytest.fixture

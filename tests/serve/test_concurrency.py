@@ -1,0 +1,173 @@
+"""Regression hammers for the serving-layer races fixed by the
+concurrency pass.
+
+Each test targets a specific pre-fix bug shape: the TTLCache was wholly
+unsynchronized (concurrent eviction/expiry could double-delete), the
+breaker's half-open probe budget was a check-then-act (two threads could
+both win a one-probe budget), and the service's popularity table was
+lazily built outside any lock (two degraded requests could both build
+it).  They run green against the locked implementations — and stay
+meaningful under ``REPRO_SANITIZE=1``, where the lockset sanitizer would
+flag any regression even if the hammer got lucky on timing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.serve import CircuitBreaker, TTLCache
+
+from .test_breaker import FakeClock
+from .test_service import FakeModel, make_service
+
+THREADS = 8
+ITERS = 400
+
+
+def _run_threads(worker, count=THREADS):
+    barrier = threading.Barrier(count)
+    errors = []
+
+    def wrapped(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as exc:  # noqa: BLE001 - recorded and re-raised
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestTTLCacheConcurrency:
+    def test_mixed_put_get_purge_stays_consistent(self):
+        cache = TTLCache(max_entries=16, ttl=60.0)
+
+        def worker(index):
+            for step in range(ITERS):
+                key = (index, step % 24)
+                cache.put(key, step)
+                value = cache.get(key)
+                assert value is None or value == step
+                if step % 50 == 0:
+                    cache.purge_expired()
+
+        _run_threads(worker)
+        assert len(cache) <= 16
+
+    def test_concurrent_expiry_of_one_key(self):
+        """Pre-fix, two readers of an expired key raced the delete."""
+        clock = FakeClock()
+        cache = TTLCache(max_entries=8, ttl=1.0, clock=clock)
+        cache.put("hot", 42)
+        clock.advance(5.0)
+
+        def worker(_index):
+            for _ in range(ITERS):
+                assert cache.get("hot") is None
+
+        _run_threads(worker)
+        assert len(cache) == 0
+
+    def test_concurrent_eviction_pressure(self):
+        cache = TTLCache(max_entries=4, ttl=60.0)
+
+        def worker(index):
+            for step in range(ITERS):
+                cache.put((index, step), step)
+
+        _run_threads(worker)
+        assert len(cache) <= 4
+
+
+class TestCircuitBreakerConcurrency:
+    def _tripped_breaker(self, clock, **kwargs):
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=5.0, clock=clock, **kwargs
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.0)  # past recovery: next allow() probes
+        return breaker
+
+    def test_half_open_probe_budget_not_oversubscribed(self):
+        """Pre-fix bug: ``allow`` checked the probe budget and then
+        incremented it without a lock, so two threads could both pass a
+        one-probe gate and hammer the recovering backend."""
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock, half_open_probes=1)
+        admitted = []
+
+        def worker(_index):
+            if breaker.allow():
+                admitted.append(1)
+
+        _run_threads(worker)
+        assert sum(admitted) == 1
+
+    def test_single_open_transition_under_failure_storm(self):
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            recovery_time=1000.0,
+            clock=FakeClock(),
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+
+        def worker(_index):
+            for _ in range(ITERS):
+                breaker.record_failure()
+
+        _run_threads(worker)
+        assert transitions == [("closed", "open")]
+
+    def test_no_lost_failure_counts(self):
+        breaker = CircuitBreaker(
+            failure_threshold=THREADS * ITERS,
+            recovery_time=1000.0,
+            clock=FakeClock(),
+        )
+
+        def worker(_index):
+            for _ in range(ITERS):
+                breaker.record_failure()
+
+        _run_threads(worker)
+        assert breaker.state == "open"  # exactly at the threshold
+
+
+class TestServiceConcurrency:
+    def test_lazy_popularity_builds_exactly_once(self):
+        """Pre-fix, two degraded requests could both observe ``None``
+        and build (then clobber) the popularity table."""
+        service = make_service(FakeModel(), popularity=None)
+        results = [None] * THREADS
+
+        def worker(index):
+            results[index] = service._popularity_scores()
+
+        _run_threads(worker)
+        identities = {id(scores) for scores in results}
+        assert len(identities) == 1
+        np.testing.assert_array_equal(
+            results[0], np.zeros(FakeModel.num_items)
+        )
+
+    def test_request_counter_monotonic_under_load(self):
+        service = make_service(FakeModel())
+
+        def worker(_index):
+            for _ in range(50):
+                service.recommend(1)
+
+        _run_threads(worker, count=4)
+        assert service._requests_seen == 4 * 50
