@@ -3,11 +3,13 @@
 #   test        tier-1: the unit/integration suite under tests/
 #   bench-smoke tier-2: hot-path perf smoke gated on benchmarks/BENCH_hotpaths.json
 #   bench       the full pytest benchmark suite (paper tables/figures)
+#   load-smoke  scale-out gate: 4-worker sharded pool under Zipf load +
+#               chaos must hold its SLOs (zero errors, p99, rung budget)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke obs-smoke retrieval-smoke concurrency-smoke
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke load-smoke obs-smoke retrieval-smoke concurrency-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -60,6 +62,20 @@ serve-smoke:
 	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
 		--scale 0.02 --epochs 2 --batch-size 256 \
 		--requests 40 --deadline-ms 50 --retrieval --n-probe 2
+
+# Scale-out load smoke: train a tiny model, fan it out over a 4-worker
+# sharded pool (jump-hash routing + per-worker micro-batching), and
+# drive a seeded Zipf trace through it while a worker crash and a
+# scoring latency spike are armed mid-run.  Fails unless every request
+# is answered (zero errors), p99 stays inside the SLO, and the
+# degradation-rung budget holds; the run's operating point is written
+# to a scratch BENCH file to exercise the bench-out path end to end.
+load-smoke:
+	$(PYTHON) -m repro.serve --dataset hetrec-del --method BPRMF \
+		--scale 0.02 --epochs 2 --batch-size 256 \
+		--workers 4 --rps 400 --requests 240 --chaos \
+		--bench-out .load-smoke-bench.json
+	rm -f .load-smoke-bench.json
 
 # Retrieval smoke: build a cluster-routed index over a small catalogue
 # and assert the correctness spine — full-probe routing reproduces exact

@@ -14,16 +14,41 @@ stack covers every registered backbone):
   back;
 - health/readiness probes and ``serve.*`` perf counters for operational
   visibility;
+- :class:`ShardedService` / :class:`ShardMap` — horizontal scale-out: a
+  user-hash (jump-consistent) shard map over N worker replicas, each
+  wrapping its own service + provider, behind a failover front door
+  that preserves the never-error contract pool-wide;
+- :class:`MicroBatcher` — per-worker micro-batched scoring: concurrent
+  requests coalesce into a single matmul, flushed on max-batch-size or
+  max-wait, bit-identical to unbatched scoring;
+- :mod:`repro.serve.loadgen` — a seed-deterministic Zipf traffic
+  generator plus SLO-asserting load harness emitting
+  ``BENCH_serve.json`` (the ``make load-smoke`` gate);
 - ``python -m repro.serve`` — train-and-serve demo CLI with a ``--chaos``
   mode that injects crashes/latency and asserts degraded-but-answered
-  behaviour (the ``make serve-smoke`` gate).
+  behaviour (the ``make serve-smoke`` gate), and a pooled mode
+  (``--workers N --rps R``) that drives the sharded pool under Zipf
+  load and asserts SLOs.
 
 Chaos behaviour is pinned by ``tests/serve/`` using the fault sites
-``serve:score`` and ``serve:reload`` from :mod:`repro.testing`.
+``serve:score``, ``serve:reload``, and ``serve:worker[:<id>]`` from
+:mod:`repro.testing`.
 """
 
+from .batching import BatchTimeout, MicroBatcher
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpen
 from .cache import TTLCache
+from .loadgen import (
+    SLO,
+    EmulatedLatencyModel,
+    FaultWindow,
+    LoadReport,
+    SLOViolation,
+    ZipfTraffic,
+    run_load,
+    write_bench,
+)
+from .shard import PoolResponse, ShardMap, ShardedService, jump_hash
 from .provider import (
     REJECTED,
     RELOADED,
@@ -47,27 +72,41 @@ from .service import (
 )
 
 __all__ = [
+    "BatchTimeout",
     "CLOSED",
     "CheckpointModelProvider",
     "CircuitBreaker",
     "CircuitOpen",
     "Deadline",
     "DeadlineExceeded",
+    "EmulatedLatencyModel",
+    "FaultWindow",
     "HALF_OPEN",
     "LEVELS",
     "LEVEL_LIVE",
     "LEVEL_POPULARITY",
     "LEVEL_STALE",
+    "LoadReport",
+    "MicroBatcher",
     "ModelUnavailable",
     "OPEN",
+    "PoolResponse",
     "REJECTED",
     "RELOADED",
     "ROLLED_BACK",
     "RecommendationService",
     "RetryPolicy",
+    "SLO",
+    "SLOViolation",
     "ServeResponse",
+    "ShardMap",
+    "ShardedService",
     "StaticModelProvider",
     "TTLCache",
     "UNCHANGED",
+    "ZipfTraffic",
     "default_restore",
+    "jump_hash",
+    "run_load",
+    "write_bench",
 ]

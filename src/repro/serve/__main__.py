@@ -12,16 +12,30 @@ Examples::
         --requests 60 --deadline-ms 50 --chaos
     python -m repro.serve --dataset hetrec-del --scale 0.02 --epochs 2 \
         --checkpoint-dir /tmp/ckpts   # serve through validated hot reload
+    python -m repro.serve --dataset hetrec-del --scale 0.02 --epochs 2 \
+        --workers 4 --rps 400 --requests 240 --chaos \
+        --bench-out BENCH_serve.json  # sharded pool under Zipf load
 
 Exit code 0 means every request was answered with a non-empty, valid
 top-N; in ``--chaos`` mode it additionally requires that degraded
 responses occurred, that the breaker opened, and that it recovered to
 closed by the end of the run — the ``make serve-smoke`` contract.
+
+``--workers N`` switches to the scale-out path: N worker replicas
+(each its own :class:`RecommendationService` + provider + micro-
+batcher) behind a jump-hash :class:`ShardedService`, driven by the
+Zipf load generator at ``--rps`` and judged against SLOs (p99 latency,
+zero errors, degradation-rung budget) — the ``make load-smoke``
+contract.  ``--chaos`` then arms a worker-crash window and a scoring
+latency window mid-run, plus a checkpoint hot reload when
+``--checkpoint-dir`` is set.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -40,9 +54,23 @@ from ..bench.harness import prepare_split, run_recipe
 from ..data import DATASET_ORDER
 from ..perf import PerfReport
 from ..retrieval import RetrievalTier
+from .batching import MicroBatcher
 from .breaker import CLOSED, CircuitBreaker, OPEN
-from .provider import CheckpointModelProvider, default_restore
+from .loadgen import (
+    SLO,
+    EmulatedLatencyModel,
+    FaultWindow,
+    ZipfTraffic,
+    run_load,
+    write_bench,
+)
+from .provider import (
+    CheckpointModelProvider,
+    StaticModelProvider,
+    default_restore,
+)
 from .service import LEVEL_LIVE, RecommendationService
+from .shard import ShardedService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +114,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition count for indexes built by the retrieval tier",
     )
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve through a sharded pool of N worker replicas driven "
+             "by the Zipf load harness (0 = classic single service)",
+    )
+    parser.add_argument(
+        "--rps", type=float, default=200.0,
+        help="target request rate for the pooled load run",
+    )
+    parser.add_argument(
+        "--skew", type=float, default=1.1,
+        help="Zipf exponent of the simulated user popularity",
+    )
+    parser.add_argument(
+        "--load-concurrency", type=int, default=8, metavar="C",
+        help="client threads driving the pooled load run",
+    )
+    parser.add_argument(
+        "--service-time-ms", type=float, default=1.0,
+        help="emulated per-scoring-call backend time in the pooled run "
+             "(released-GIL sleep; batching amortises it per batch; "
+             "0 disables)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="micro-batcher flush size per worker (pooled mode)",
+    )
+    parser.add_argument(
+        "--batch-wait-ms", type=float, default=2.0,
+        help="micro-batcher max wait before a partial flush (pooled "
+             "mode; 0 flushes immediately)",
+    )
+    parser.add_argument(
+        "--slo-p99-ms", type=float, default=500.0,
+        help="p99 latency SLO asserted on the pooled load run",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="append/write this run's operating point to FILE as "
+             "BENCH_serve.json",
+    )
+    parser.add_argument(
         "--chaos", action="store_true",
         help="inject scoring crashes and latency mid-run and assert "
              "degraded-but-answered behaviour (non-zero exit otherwise)",
@@ -101,6 +170,147 @@ def build_parser() -> argparse.ArgumentParser:
              ".json/.jsonl extensions switch to a JSONL snapshot)",
     )
     return parser
+
+
+def _pool_chaos(total: int, deadline: Optional[float], with_reload: bool):
+    """The pooled chaos schedule: crash one shard, slow all scoring,
+    and (when hot reload is in play) swap checkpoints mid-run."""
+    slow = 2 * deadline if deadline else 0.05
+    # The slow window is kept short: while it is armed every scoring
+    # call busts the deadline, breakers open, and the stale rung soaks
+    # the traffic — a longer window (plus breaker recovery) would eat
+    # the live-fraction budget without testing anything new.
+    windows = [
+        FaultWindow(start=max(int(total * 0.20), 1),
+                    stop=max(int(total * 0.35), 2),
+                    kind="worker-crash", worker=0),
+        FaultWindow(start=max(int(total * 0.50), 3),
+                    stop=max(int(total * 0.58), 4),
+                    kind="score-slow", seconds=slow),
+    ]
+    if with_reload:
+        at = max(int(total * 0.80), 5)
+        windows.append(FaultWindow(start=at, stop=at + 1, kind="reload"))
+    return windows
+
+
+def _run_pool(args, dataset, split, cell, deadline, retrieval_params) -> int:
+    """The scale-out path: N workers + shard map + Zipf load + SLOs."""
+    service_time = max(args.service_time_ms, 0.0) / 1000.0
+    hot_reload = (
+        args.checkpoint_dir is not None and args.method in MODEL_BUILDERS
+    )
+    popularity = split.train.item_degrees()
+
+    def build_worker(wid: int) -> RecommendationService:
+        if hot_reload:
+            builder = MODEL_BUILDERS[args.method]
+            provider = CheckpointModelProvider(
+                args.checkpoint_dir,
+                builder=lambda: builder(
+                    dataset, split, args.embed_dim, np.random.default_rng(0)
+                ),
+                restore=default_restore,
+                retrieval=args.retrieval,
+                retrieval_params=retrieval_params,
+            )
+        else:
+            model = cell.trained.model
+            if service_time > 0:
+                model = EmulatedLatencyModel(model, service_time)
+            provider = StaticModelProvider(model, version=f"static-w{wid}")
+        batcher = None
+        if args.max_batch > 1:
+            batcher = MicroBatcher(
+                provider.model,
+                max_batch=args.max_batch,
+                max_wait=max(args.batch_wait_ms, 0.0) / 1000.0,
+            )
+        tier = None
+        if args.retrieval and not hot_reload:
+            tier = RetrievalTier(n_probe=args.n_probe, **retrieval_params)
+        return RecommendationService(
+            provider,
+            popularity=popularity,
+            default_top_n=args.top_n,
+            default_deadline=deadline,
+            breaker=CircuitBreaker(failure_threshold=3, recovery_time=0.1),
+            batcher=batcher,
+            retrieval=tier,
+        )
+
+    workers = [build_worker(wid) for wid in range(args.workers)]
+    pool = ShardedService(workers, popularity=popularity, down_cooldown=0.2)
+    if hot_reload:
+        outcomes = pool.poll_reload()
+        print(f"hot-reload bootstrap: {outcomes}")
+
+    train_items = split.train.items_of_user()
+    traffic = ZipfTraffic(
+        dataset.num_users, args.requests,
+        rps=args.rps, skew=args.skew, seed=args.seed,
+    )
+    faults = (
+        _pool_chaos(args.requests, deadline, hot_reload)
+        if args.chaos else ()
+    )
+    print(
+        f"\ndriving {args.requests} Zipf requests at {args.rps:.0f} rps "
+        f"over {args.workers} workers "
+        f"({'chaos armed' if args.chaos else 'healthy run'})..."
+    )
+    report = run_load(
+        pool, traffic,
+        concurrency=args.load_concurrency,
+        pace=True,
+        faults=faults,
+        top_n=args.top_n,
+        deadline=deadline,
+        exclude_fn=lambda user: train_items[user],
+    )
+    stats = report.summary()
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    print("pool health:", pool.health()["status"])
+
+    slo = SLO(
+        p99_seconds=args.slo_p99_ms / 1000.0,
+        max_errors=0,
+        min_live_fraction=0.5,
+        max_popularity_fraction=0.35,
+    )
+    violations = report.violations(slo)
+    if args.chaos:
+        shaken = stats["rerouted"] > 0 or any(
+            stats["responses_by_level"].get(level, 0)
+            for level in ("stale", "popularity")
+        )
+        if not shaken:
+            violations.append(
+                "chaos schedule left no trace (no reroutes, no degraded "
+                "responses) — the fault windows never bit"
+            )
+    if args.bench_out:
+        point = {"label": f"workers-{args.workers}", **stats}
+        existing = []
+        if os.path.exists(args.bench_out):
+            with open(args.bench_out, "r", encoding="utf-8") as handle:
+                existing = json.load(handle).get("operating_points", [])
+        existing = [
+            p for p in existing if p.get("label") != point["label"]
+        ] + [point]
+        write_bench(
+            args.bench_out, existing,
+            meta={"dataset": dataset.name, "method": args.method,
+                  "chaos": bool(args.chaos), "rps": args.rps,
+                  "skew": args.skew, "seed": args.seed},
+        )
+        print(f"bench: {args.bench_out}")
+    if violations:
+        for violation in violations:
+            print(f"SLO FAIL: {violation}", file=sys.stderr)
+        return 1
+    print("\nOK: pool held its SLOs under load")
+    return 0
 
 
 def _chaos_plan(total: int):
@@ -144,6 +354,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         popularity=split.train.item_degrees(),
         seed=args.seed,
     )
+    if args.workers > 0:
+        return _run_pool(args, dataset, split, cell, deadline,
+                         retrieval_params)
     if args.checkpoint_dir is not None and args.method in MODEL_BUILDERS:
         builder = MODEL_BUILDERS[args.method]
         provider = CheckpointModelProvider(

@@ -1,0 +1,521 @@
+"""Zipf load generation, SLO assertion, and the serving capacity bench.
+
+The scale-out story is only honest with a harness that can hammer the
+pool the way production traffic would and fail loudly when capacity or
+resilience regresses.  This module provides that harness:
+
+- :class:`ZipfTraffic` — a **seed-deterministic** open-loop traffic
+  model: user popularity follows a Zipf law (configurable ``skew``)
+  over a seeded rank permutation, arrivals are exponential at a target
+  ``rps``.  Same seed → byte-identical request trace (and, driven
+  against fake clocks, byte-identical summary stats), so the bench
+  gate is reproducible in CI.
+- :class:`FaultWindow` — a chaos schedule entry: crash or slow one
+  worker (or the scoring path) for a slice of the trace, or hot-reload
+  checkpoints mid-run.  Windows partition the trace; requests inside a
+  window run concurrently with the fault armed.
+- :func:`run_load` — drive any service (sharded pool or single
+  :class:`~repro.serve.service.RecommendationService`) with N client
+  threads, optionally pacing to the trace's arrival times, and collect
+  a per-request record stream.
+- :class:`LoadReport` / :class:`SLO` — p50/p99 latency, throughput,
+  error count, per-rung and per-worker response counts, the obs
+  histogram snapshot as an audit trail, and hard SLO assertions
+  (p99 bound, **zero errors**, degradation-rung budget).
+- :func:`write_bench` — emit ``BENCH_serve.json`` operating points so
+  capacity regressions are visible per PR (``benchmarks/bench_serve.py``
+  records 1-worker vs 4-worker points).
+
+``python -m repro.serve --workers N --rps R`` wires all of this behind
+the CLI; ``make load-smoke`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs, testing
+
+#: Degradation rungs a report counts (mirrors repro.serve.service.LEVELS).
+from .service import LEVELS
+
+
+class SLOViolation(AssertionError):
+    """A load run breached its service-level objectives."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled request: arrival offset (seconds) and user id."""
+
+    index: int
+    at: float
+    user: int
+
+
+class ZipfTraffic:
+    """Deterministic Zipf-over-users traffic at a target request rate.
+
+    Args:
+        num_users: user-id space (requests draw from ``[0, num_users)``;
+            set to millions to model a large population — sampling is
+            vectorised).
+        requests: trace length (mutually exclusive with ``duration``).
+        rps: mean arrival rate (exponential inter-arrivals).
+        duration: alternative sizing — ``int(rps * duration)`` requests.
+        skew: Zipf exponent ``s``; rank-``r`` user has weight
+            ``r**-s``.  ``s≈1.1`` models typical heavy-tailed traffic;
+            0 degenerates to uniform.
+        seed: the determinism anchor — same seed, same trace, bit for
+            bit (asserted by ``tests/serve/test_loadgen.py``).
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        requests: Optional[int] = None,
+        *,
+        rps: float = 100.0,
+        duration: Optional[float] = None,
+        skew: float = 1.1,
+        seed: int = 0,
+    ) -> None:
+        if num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {num_users}")
+        if rps <= 0:
+            raise ValueError(f"rps must be > 0, got {rps}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        if (requests is None) == (duration is None):
+            raise ValueError("size the trace with exactly one of "
+                             "requests= or duration=")
+        if requests is None:
+            requests = max(int(rps * duration), 1)
+        if requests < 1:
+            raise ValueError(f"requests must be >= 1, got {requests}")
+        self.num_users = num_users
+        self.requests = requests
+        self.rps = rps
+        self.skew = skew
+        self.seed = seed
+        self._trace: Optional[List[Request]] = None
+
+    def trace(self) -> List[Request]:
+        """The full request trace (computed once, then cached)."""
+        if self._trace is None:
+            rng = np.random.default_rng(self.seed)
+            weights = np.arange(1, self.num_users + 1, dtype=np.float64)
+            weights **= -self.skew
+            weights /= weights.sum()
+            # Which user id holds which popularity rank is itself seeded,
+            # so hot users differ between seeds (and between A/B pools).
+            ranked_users = rng.permutation(self.num_users)
+            ranks = rng.choice(self.num_users, size=self.requests, p=weights)
+            users = ranked_users[ranks]
+            arrivals = np.cumsum(rng.exponential(1.0 / self.rps,
+                                                 size=self.requests))
+            self._trace = [
+                Request(index=i, at=float(arrivals[i]), user=int(users[i]))
+                for i in range(self.requests)
+            ]
+        return self._trace
+
+    def digest(self) -> str:
+        """SHA-256 over the trace — the reproducibility fingerprint."""
+        hasher = hashlib.sha256()
+        for request in self.trace():
+            hasher.update(
+                f"{request.index}:{request.at:.9f}:{request.user}\n".encode()
+            )
+        return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Chaos armed over ``[start, stop)`` request indices of a trace.
+
+    Kinds:
+        ``worker-crash``  — the targeted worker (or any worker when
+            ``worker`` is ``None``) raises on every dispatch;
+        ``worker-slow``   — the targeted worker's dispatches sleep
+            ``seconds`` (a slow shard; deadlines fire);
+        ``score-crash``   — the scoring path inside every worker
+            raises (breakers open, ladders degrade);
+        ``score-slow``    — scoring sleeps ``seconds``;
+        ``reload``        — no fault armed; the service's
+            ``poll_reload()`` runs before the window (mid-run
+            checkpoint hot reload under load).
+    """
+
+    start: int
+    stop: int
+    kind: str
+    worker: Optional[int] = None
+    seconds: float = 0.0
+
+    KINDS = (
+        "worker-crash", "worker-slow", "score-crash", "score-slow", "reload"
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"kind must be one of {self.KINDS}, got {self.kind!r}"
+            )
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    def _site(self) -> str:
+        if self.kind.startswith("worker"):
+            if self.worker is None:
+                return testing.SERVE_WORKER
+            return testing.worker_site(self.worker)
+        return testing.SERVE_SCORE
+
+    def arm(self, stack: ExitStack) -> None:
+        """Enter this window's fault context(s) on ``stack``."""
+        if self.kind == "reload":
+            return
+        if self.kind.endswith("-crash"):
+            stack.enter_context(
+                testing.CrashPoint(self._site(), at=1, every=1)
+            )
+        else:
+            stack.enter_context(
+                testing.Latency(self._site(), seconds=self.seconds)
+            )
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service-level objectives a load run must honour.
+
+    ``max_errors`` defaults to the contract: zero requests may error.
+    ``min_live_fraction`` / ``max_popularity_fraction`` form the
+    degradation-rung budget: chaos may push traffic down the ladder,
+    but most answers must stay personalised.
+    """
+
+    p99_seconds: float = 0.5
+    max_errors: int = 0
+    min_live_fraction: float = 0.5
+    max_popularity_fraction: float = 0.25
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced: records, stats, audit trail."""
+
+    records: List[dict]
+    wall_seconds: float
+    trace_digest: str
+    workers: int
+    metrics_snapshot: dict = field(default_factory=dict, repr=False)
+
+    def latencies(self) -> np.ndarray:
+        ok = [r["latency"] for r in self.records if not r["error"]]
+        return np.asarray(ok, dtype=np.float64)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe stats: deterministic counts + measured latencies."""
+        latencies = self.latencies()
+        errors = sum(1 for r in self.records if r["error"])
+        by_level = {level: 0 for level in LEVELS}
+        by_worker: Dict[str, int] = {}
+        rerouted = 0
+        for record in self.records:
+            if record["error"]:
+                continue
+            by_level[record["level"]] = by_level.get(record["level"], 0) + 1
+            worker = record.get("worker")
+            key = "frontdoor" if worker is None else str(worker)
+            by_worker[key] = by_worker.get(key, 0) + 1
+            rerouted += record.get("rerouted", 0)
+        wall = max(self.wall_seconds, 1e-9)
+        return {
+            "requests": len(self.records),
+            "errors": errors,
+            "throughput_rps": len(self.records) / wall,
+            "wall_seconds": self.wall_seconds,
+            "latency_p50_seconds": (
+                float(np.percentile(latencies, 50)) if latencies.size else 0.0
+            ),
+            "latency_p99_seconds": (
+                float(np.percentile(latencies, 99)) if latencies.size else 0.0
+            ),
+            "latency_mean_seconds": (
+                float(latencies.mean()) if latencies.size else 0.0
+            ),
+            "responses_by_level": dict(sorted(by_level.items())),
+            "responses_by_worker": dict(sorted(by_worker.items())),
+            "rerouted": rerouted,
+            "workers": self.workers,
+            "trace_sha256": self.trace_digest,
+        }
+
+    def violations(self, slo: SLO) -> List[str]:
+        """SLO breaches in this run (empty list == within budget)."""
+        stats = self.summary()
+        answered = stats["requests"] - stats["errors"]
+        found: List[str] = []
+        if stats["errors"] > slo.max_errors:
+            found.append(
+                f"errors: {stats['errors']} > allowed {slo.max_errors}"
+            )
+        if stats["latency_p99_seconds"] > slo.p99_seconds:
+            found.append(
+                f"p99 latency {stats['latency_p99_seconds']:.4f}s > SLO "
+                f"{slo.p99_seconds:.4f}s"
+            )
+        if answered:
+            live = stats["responses_by_level"].get("live", 0) / answered
+            popular = (
+                stats["responses_by_level"].get("popularity", 0) / answered
+            )
+            if live < slo.min_live_fraction:
+                found.append(
+                    f"live fraction {live:.3f} < budget "
+                    f"{slo.min_live_fraction:.3f}"
+                )
+            if popular > slo.max_popularity_fraction:
+                found.append(
+                    f"popularity fraction {popular:.3f} > budget "
+                    f"{slo.max_popularity_fraction:.3f}"
+                )
+        return found
+
+    def assert_slo(self, slo: SLO) -> None:
+        """Raise :class:`SLOViolation` listing every breached objective."""
+        found = self.violations(slo)
+        if found:
+            raise SLOViolation("; ".join(found))
+
+
+def run_load(
+    service: Any,
+    traffic: ZipfTraffic,
+    *,
+    concurrency: int = 8,
+    pace: bool = True,
+    faults: Sequence[FaultWindow] = (),
+    top_n: Optional[int] = None,
+    deadline: Optional[float] = None,
+    exclude_fn: Optional[Callable[[int], Any]] = None,
+    metrics: Optional[Any] = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> LoadReport:
+    """Drive ``service`` with ``traffic`` and collect a report.
+
+    The trace is split at fault-window boundaries; each segment runs
+    its requests across ``concurrency`` client threads with the
+    segment's fault (if any) armed.  ``pace=True`` honours the trace's
+    arrival times (open loop); ``pace=False`` fires requests as fast as
+    the clients can (closed loop — the capacity-measurement mode).
+
+    The service only needs a ``recommend(user, top_n=, exclude=,
+    deadline=)`` returning an object with ``items`` / ``level`` (both
+    :class:`~repro.serve.shard.ShardedService` and a single
+    :class:`~repro.serve.service.RecommendationService` qualify).
+
+    Exceptions from ``recommend`` are *recorded*, not raised — the SLO
+    layer is where "zero errors" gets asserted, so a chaos run can
+    observe a contract break instead of dying on it.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    trace = traffic.trace()
+    segments = _segment(len(trace), faults)
+    records: List[Optional[dict]] = [None] * len(trace)
+    workers = len(getattr(service, "workers", ())) or 1
+    start = clock()
+
+    for lo, hi, window in segments:
+        if window is not None and window.kind == "reload":
+            service.poll_reload()
+        with ExitStack() as stack:
+            if window is not None:
+                window.arm(stack)
+            _run_segment(
+                service, trace[lo:hi], records, concurrency, pace, start,
+                top_n, deadline, exclude_fn, clock, sleep,
+            )
+
+    wall = clock() - start
+    registry = metrics if metrics is not None else obs.get_metrics()
+    return LoadReport(
+        records=[r for r in records if r is not None],
+        wall_seconds=wall,
+        trace_digest=traffic.digest(),
+        workers=workers,
+        metrics_snapshot=registry.snapshot(),
+    )
+
+
+def _segment(
+    total: int, faults: Sequence[FaultWindow]
+) -> List[Tuple[int, int, Optional[FaultWindow]]]:
+    """Partition ``[0, total)`` into maximal runs of one armed window.
+
+    Windows must not overlap; gaps run fault-free.
+    """
+    ordered = sorted(faults, key=lambda w: w.start)
+    for before, after in zip(ordered, ordered[1:]):
+        if after.start < before.stop:
+            raise ValueError(
+                f"fault windows overlap: [{before.start}, {before.stop}) "
+                f"and [{after.start}, {after.stop})"
+            )
+    segments: List[Tuple[int, int, Optional[FaultWindow]]] = []
+    cursor = 0
+    for window in ordered:
+        lo, hi = min(window.start, total), min(window.stop, total)
+        if cursor < lo:
+            segments.append((cursor, lo, None))
+        if lo < hi or window.kind == "reload":
+            segments.append((lo, hi, window))
+        cursor = max(cursor, hi)
+    if cursor < total:
+        segments.append((cursor, total, None))
+    return segments
+
+
+def _run_segment(
+    service: Any,
+    requests: Sequence[Request],
+    records: List[Optional[dict]],
+    concurrency: int,
+    pace: bool,
+    run_start: float,
+    top_n: Optional[int],
+    deadline: Optional[float],
+    exclude_fn: Optional[Callable[[int], Any]],
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+) -> None:
+    """Execute one segment's requests across client threads."""
+    cursor_lock = threading.Lock()
+    cursor = [0]
+
+    def next_request() -> Optional[Request]:
+        with cursor_lock:
+            if cursor[0] >= len(requests):
+                return None
+            request = requests[cursor[0]]
+            cursor[0] += 1
+            return request
+
+    def client() -> None:
+        while True:
+            request = next_request()
+            if request is None:
+                return
+            if pace:
+                wait = request.at - (clock() - run_start)
+                if wait > 0:
+                    sleep(wait)
+            exclude = exclude_fn(request.user) if exclude_fn else None
+            began = clock()
+            record = {
+                "index": request.index,
+                "user": request.user,
+                "error": False,
+            }
+            try:
+                response = service.recommend(
+                    request.user, top_n=top_n, exclude=exclude,
+                    deadline=deadline,
+                )
+            except Exception as err:  # contract break: record, don't die
+                record["error"] = True
+                record["exception"] = f"{type(err).__name__}: {err}"
+                record["latency"] = clock() - began
+            else:
+                record["latency"] = clock() - began
+                record["level"] = response.level
+                record["items"] = int(np.asarray(response.items).size)
+                record["worker"] = getattr(response, "worker", None)
+                record["rerouted"] = getattr(response, "rerouted", 0)
+            records[request.index] = record
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-client-{i}")
+        for i in range(min(concurrency, max(len(requests), 1)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class EmulatedLatencyModel:
+    """Wrap a model with a fixed per-call service time.
+
+    Capacity benches need a scoring cost that dominates Python/GIL
+    overhead so scale-out and batching are measurable in-process: the
+    sleep releases the GIL like a real remote/BLAS backend would, and —
+    because the micro-batcher pays it once per *batch* — the bench sees
+    exactly the amortisation batching buys in production.  Scores are
+    untouched, so correctness assertions still hold through it.
+    """
+
+    def __init__(self, model: Any, seconds: float,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self._model = model
+        self.seconds = seconds
+        self._sleep = sleep
+
+    def all_scores(self, users: np.ndarray) -> np.ndarray:
+        self._sleep(self.seconds)
+        return self._model.all_scores(users)
+
+    def recommend(self, user: int, top_n: int = 20,
+                  exclude: Optional[Any] = None) -> np.ndarray:
+        self._sleep(self.seconds)
+        return self._model.recommend(user, top_n=top_n, exclude=exclude)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._model, name)
+
+
+def write_bench(
+    path: str,
+    operating_points: Sequence[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write ``BENCH_serve.json``: per-point capacity + resilience stats.
+
+    Deterministic serialisation (sorted keys, fixed indentation) so the
+    loadgen determinism test can compare files byte-for-byte.
+    """
+    payload = {
+        "bench": "serve",
+        "meta": dict(meta or {}),
+        "operating_points": list(operating_points),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = [
+    "EmulatedLatencyModel",
+    "FaultWindow",
+    "LoadReport",
+    "Request",
+    "SLO",
+    "SLOViolation",
+    "ZipfTraffic",
+    "run_load",
+    "write_bench",
+]

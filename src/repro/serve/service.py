@@ -156,6 +156,15 @@ class RecommendationService:
         stale_ttl / stale_entries: stale-response cache tuning.
         reload_every: when positive, ``provider.poll()`` runs every
             N-th request (hot reload piggybacked on traffic).
+        batcher: optional :class:`repro.serve.batching.MicroBatcher`;
+            the live rung then scores through the shared micro-batch
+            (one matmul per batch of concurrent requests) instead of a
+            per-request ``model.recommend`` call.  Batched output is
+            bit-identical to unbatched scoring (property-tested), so
+            the ladder, breaker, and deadline semantics are unchanged —
+            batch-level failures surface per request exactly like model
+            failures.  When both ``retrieval`` and ``batcher`` are set
+            the retrieval tier wins (it already shortlists per user).
         retrieval: optional :class:`repro.retrieval.RetrievalTier`; the
             live rung then answers from the cluster-routed shortlist
             (sub-linear in the catalogue) and any retrieval-layer
@@ -188,6 +197,7 @@ class RecommendationService:
         stale_ttl: float = 300.0,
         stale_entries: int = 1024,
         reload_every: int = 0,
+        batcher: Optional[Any] = None,
         retrieval: Optional[Any] = None,
         counters: Optional[CounterRegistry] = None,
         timers: Optional[StopwatchRegistry] = None,
@@ -218,6 +228,9 @@ class RecommendationService:
             max_entries=stale_entries, ttl=stale_ttl, clock=clock
         )
         self.reload_every = reload_every
+        self.batcher = batcher
+        if batcher is not None and getattr(batcher, "counters", None) is None:
+            batcher.counters = self.counters
         self.retrieval = retrieval
         if retrieval is not None and getattr(retrieval, "counters", None) is None:
             # Tier outcomes surface in health() with the other counters.
@@ -368,6 +381,10 @@ class RecommendationService:
                     if self.retrieval is not None:
                         items = self.retrieval.recommend(
                             self.provider, user, top_n=top_n, exclude=exclude
+                        )
+                    if items is None and self.batcher is not None:
+                        items = self.batcher.recommend(
+                            user, top_n=top_n, exclude=exclude
                         )
                     if items is None:
                         items = model.recommend(

@@ -1,0 +1,381 @@
+"""Sharded multi-worker serving: user-hash routing over a worker pool.
+
+Scale-out layer over :class:`repro.serve.RecommendationService`: N
+worker replicas (each wrapping its own service + model provider, and
+usually its own :class:`repro.serve.batching.MicroBatcher`) sit behind
+a :class:`ShardedService` front door that
+
+- routes each user to a primary shard via a **jump-consistent hash**
+  (:func:`jump_hash`), so the mapping is stable across processes,
+  balanced (chi-square-tested over 10k users), and resharding N→N+1
+  moves only ~1/(N+1) of the user population;
+- **fails over** to replica shards when a worker errors or is marked
+  down, with a cooldown so a crashing worker is skipped instead of
+  re-probed on every request;
+- preserves the **never-error degradation contract**: if every routed
+  worker fails, the front door answers from its own stale cache and
+  then from global popularity — exactly the ladder a single service
+  honours, one level up.
+
+Worker crashes and slow shards are injectable through the
+``serve:worker`` / ``serve:worker:<id>`` fault sites of
+:mod:`repro.testing`, which is what the chaos-under-load suite and the
+``--chaos`` pooled CLI mode arm.
+
+Observability: every answered request feeds the pool-wide
+``serve.pool.request_seconds`` histogram plus a per-shard
+``serve.shard<id>.request_seconds`` histogram and ``serve.pool.shard.
+<id>.responses`` counter, so per-shard skew and failover churn are
+visible in the obs snapshot the load harness audits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import obs, testing
+from ..concurrency import new_lock, shared_state
+from ..eval.metrics import rank_items
+from .cache import TTLCache
+from .service import LEVEL_LIVE, LEVEL_POPULARITY, LEVEL_STALE, ServeResponse
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: avalanche small integer keys into 64 bits.
+
+    User ids are small dense integers; feeding them to the jump hash
+    directly would correlate consecutive users.  One round of SplitMix64
+    mixing makes the jump hash's key stream effectively random while
+    staying a pure, process-independent function of the id.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _M64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _M64
+    return (value ^ (value >> 31)) & _M64
+
+
+def jump_hash(key: int, num_buckets: int) -> int:
+    """Jump consistent hash (Lamport & Presta): key → bucket.
+
+    Deterministic, uniform, and *consistent*: growing from ``n`` to
+    ``n + 1`` buckets remaps only ~``1/(n+1)`` of the keyspace, which
+    is what makes live resharding cheap (property-tested).
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    key &= _M64
+    bucket, candidate = -1, 0
+    while candidate < num_buckets:
+        bucket = candidate
+        key = (key * 2862933555777941757 + 1) & _M64
+        candidate = int((bucket + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return bucket
+
+
+class ShardMap:
+    """Stable user → shard assignment over ``num_shards`` workers.
+
+    Args:
+        num_shards: worker count.
+        seed: mixed into the key so two co-existing maps (e.g. an A/B
+            pool) can shard the same users differently.
+
+    Immutable after construction — shared freely across threads.
+    """
+
+    def __init__(self, num_shards: int, seed: int = 0) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.seed = seed
+
+    def shard_of(self, user: int) -> int:
+        """The primary shard serving ``user``."""
+        return jump_hash(_mix64(int(user) ^ _mix64(self.seed)), self.num_shards)
+
+    def route(self, user: int, max_failover: Optional[int] = None) -> Tuple[int, ...]:
+        """Failover order for ``user``: primary first, then replicas.
+
+        ``max_failover`` bounds how many *additional* shards are tried
+        (default: all of them).
+        """
+        extra = self.num_shards - 1 if max_failover is None else max_failover
+        extra = max(0, min(extra, self.num_shards - 1))
+        primary = self.shard_of(user)
+        return tuple(
+            (primary + offset) % self.num_shards for offset in range(extra + 1)
+        )
+
+    def assignments(self, users: Iterable[int]) -> np.ndarray:
+        """Primary shard per user (test/analysis helper)."""
+        return np.asarray([self.shard_of(u) for u in users], dtype=np.int64)
+
+
+@dataclass
+class PoolResponse:
+    """One request answered by the pool, whatever it took.
+
+    ``worker`` is the shard that answered (``None`` when the front
+    door's own fallback rungs answered because every routed worker
+    failed); ``rerouted`` counts failovers before the answer; ``level``
+    is the degradation rung of whoever answered.
+    """
+
+    user: int
+    items: np.ndarray = field(repr=False)
+    level: str
+    latency: float
+    worker: Optional[int] = None
+    rerouted: int = 0
+    retries: int = 0
+    deadline_hit: bool = False
+    model_version: str = "unknown"
+
+    @property
+    def degraded(self) -> bool:
+        return self.level != LEVEL_LIVE
+
+
+@shared_state(guard="_lock")
+class ShardedService:
+    """Threaded front door routing requests over N worker services.
+
+    Args:
+        workers: the replica :class:`RecommendationService` instances
+            (index == shard id).  Each worker owns its provider,
+            breaker, stale cache, and (optionally) micro-batcher.
+        shard_map: user routing (default: a fresh :class:`ShardMap`
+            over ``len(workers)``).
+        popularity: per-item counts for the front door's last-resort
+            rung when *every* routed worker fails; ``None`` falls back
+            to any worker's popularity rung via an empty answer guard.
+        max_failover: replicas tried after the primary (default: all).
+        down_cooldown: seconds a failed worker is skipped before being
+            probed again.
+        stale_ttl / stale_entries: front-door stale cache tuning (a
+            second chance above the per-worker caches, so one user's
+            last good answer survives their whole shard going down).
+        metrics: a :class:`repro.obs.MetricsRegistry` (defaults to the
+            process-global one) receiving pool and per-shard metrics.
+        clock: injectable time source for tests.
+
+    The front door holds no lock while calling a worker — routing
+    state (the down-list) is read and written in short critical
+    sections, so concurrent requests only serialise for bookkeeping.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Any],
+        *,
+        shard_map: Optional[ShardMap] = None,
+        popularity: Optional[np.ndarray] = None,
+        max_failover: Optional[int] = None,
+        down_cooldown: float = 1.0,
+        stale_ttl: float = 300.0,
+        stale_entries: int = 4096,
+        metrics: Optional[Any] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not workers:
+            raise ValueError("a sharded service needs at least one worker")
+        if down_cooldown < 0:
+            raise ValueError(f"down_cooldown must be >= 0, got {down_cooldown}")
+        self.workers = list(workers)
+        self.shard_map = shard_map or ShardMap(len(self.workers))
+        if self.shard_map.num_shards != len(self.workers):
+            raise ValueError(
+                f"shard map covers {self.shard_map.num_shards} shards but "
+                f"{len(self.workers)} workers were supplied"
+            )
+        self.max_failover = max_failover
+        self.down_cooldown = down_cooldown
+        self._metrics = metrics
+        self._clock = clock
+        self._lock = new_lock("serve.ShardedService")
+        self._down_until: List[float] = [0.0] * len(self.workers)
+        self.stale_cache = TTLCache(
+            max_entries=stale_entries, ttl=stale_ttl, clock=clock
+        )
+        self._popularity = (
+            None if popularity is None
+            else np.asarray(popularity, dtype=np.float64)
+        )
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user: int,
+        top_n: Optional[int] = None,
+        exclude: Optional[Iterable[int]] = None,
+        deadline: Optional[float] = None,
+    ) -> PoolResponse:
+        """Answer one request through the pool; never raises for
+        infrastructure failure (``ValueError`` only for malformed
+        requests, matching the single-service contract)."""
+        user = int(user)
+        if user < 0:
+            raise ValueError(f"user must be >= 0, got {user}")
+        if top_n is not None and int(top_n) < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        start = self._clock()
+        metrics = self._registry()
+        metrics.add("serve.pool.requests")
+        excluded: Set[int] = (
+            set(int(i) for i in exclude) if exclude is not None else set()
+        )
+
+        rerouted = 0
+        response: Optional[ServeResponse] = None
+        answered_by: Optional[int] = None
+        for shard in self.shard_map.route(user, self.max_failover):
+            if self._is_down(shard):
+                metrics.add("serve.pool.skipped_down")
+                continue
+            try:
+                response = self._call_worker(
+                    shard, user, top_n, excluded, deadline
+                )
+            except ValueError:
+                raise  # malformed request: the contract says surface it
+            except BaseException:
+                self._mark_down(shard)
+                metrics.add("serve.pool.worker_error")
+                metrics.add(f"serve.pool.shard.{shard}.errors")
+                rerouted += 1
+                continue
+            answered_by = shard
+            break
+
+        latency = self._clock() - start
+        if response is not None:
+            if response.level == LEVEL_LIVE and response.items.size:
+                self.stale_cache.put(user, response.items)
+            self._observe(metrics, answered_by, response.level, latency)
+            return PoolResponse(
+                user=user,
+                items=response.items,
+                level=response.level,
+                latency=latency,
+                worker=answered_by,
+                rerouted=rerouted,
+                retries=response.retries,
+                deadline_hit=response.deadline_hit,
+                model_version=response.model_version,
+            )
+
+        # Every routed worker failed: the front door's own ladder.
+        metrics.add("serve.pool.all_workers_failed")
+        items, level = self._fallback(user, top_n, excluded)
+        latency = self._clock() - start
+        self._observe(metrics, None, level, latency)
+        return PoolResponse(
+            user=user,
+            items=items,
+            level=level,
+            latency=latency,
+            worker=None,
+            rerouted=rerouted,
+        )
+
+    def _call_worker(
+        self,
+        shard: int,
+        user: int,
+        top_n: Optional[int],
+        exclude: Set[int],
+        deadline: Optional[float],
+    ) -> ServeResponse:
+        """One worker attempt, passing through the chaos fault sites."""
+        testing.check(testing.SERVE_WORKER)
+        testing.check(testing.worker_site(shard))
+        testing.delay(testing.SERVE_WORKER)
+        testing.delay(testing.worker_site(shard))
+        return self.workers[shard].recommend(
+            user, top_n=top_n, exclude=exclude, deadline=deadline
+        )
+
+    def _fallback(
+        self, user: int, top_n: Optional[int], exclude: Set[int]
+    ) -> Tuple[np.ndarray, str]:
+        top_n = 20 if top_n is None else int(top_n)
+        cached = self.stale_cache.get(user)
+        if cached is not None:
+            usable = np.asarray([i for i in cached if int(i) not in exclude])
+            if usable.size:
+                return usable[:top_n], LEVEL_STALE
+        scores = self._popularity
+        if scores is None:
+            return np.empty(0, dtype=np.int64), LEVEL_POPULARITY
+        return rank_items(scores, exclude, top_n), LEVEL_POPULARITY
+
+    # ------------------------------------------------------------------
+    # worker health tracking
+    # ------------------------------------------------------------------
+    def _is_down(self, shard: int) -> bool:
+        with self._lock:
+            return self._clock() < self._down_until[shard]
+
+    def _mark_down(self, shard: int) -> None:
+        with self._lock:
+            self._down_until[shard] = self._clock() + self.down_cooldown
+
+    def _observe(
+        self, metrics: Any, shard: Optional[int], level: str, latency: float
+    ) -> None:
+        metrics.add(f"serve.pool.responses.{level}")
+        if level != LEVEL_LIVE:
+            metrics.add("serve.pool.degraded")
+        metrics.histogram("serve.pool.request_seconds").observe(latency)
+        if shard is not None:
+            metrics.add(f"serve.pool.shard.{shard}.responses")
+            metrics.histogram(
+                f"serve.shard{shard}.request_seconds"
+            ).observe(latency)
+
+    def _registry(self) -> Any:
+        return self._metrics if self._metrics is not None else obs.get_metrics()
+
+    # ------------------------------------------------------------------
+    # lifecycle + probes
+    # ------------------------------------------------------------------
+    def poll_reload(self) -> List[str]:
+        """Poll every worker's provider for a newer model (hot reload
+        across the whole pool); returns the per-worker outcomes."""
+        return [worker.poll_reload() for worker in self.workers]
+
+    def ready(self) -> bool:
+        """True when at least one worker can answer live traffic."""
+        return any(worker.ready() for worker in self.workers)
+
+    def health(self) -> Dict[str, Any]:
+        """Aggregate health: per-worker probe snapshots + pool status."""
+        worker_health = [worker.health() for worker in self.workers]
+        now = self._clock()
+        with self._lock:
+            down = [now < until for until in self._down_until]
+        ready = sum(1 for h in worker_health if h["ready"])
+        if ready == 0:
+            status = "unready"
+        elif ready < len(self.workers) or any(down):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "workers": worker_health,
+            "down": down,
+            "shards": self.shard_map.num_shards,
+            "stale_entries": len(self.stale_cache),
+        }
+
+
+__all__ = ["PoolResponse", "ShardMap", "ShardedService", "jump_hash"]

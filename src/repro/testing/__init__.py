@@ -20,6 +20,7 @@ from .faults import (
     DATA_CACHE_WRITE,
     SERVE_RELOAD,
     SERVE_SCORE,
+    SERVE_WORKER,
     TRAINER_EPOCH,
     TRAINER_STEP,
     CrashPoint,
@@ -30,6 +31,7 @@ from .faults import (
     delay,
     filter_bytes,
     reset,
+    worker_site,
 )
 from .lockset import (
     ConcurrencyHazard,
@@ -54,6 +56,7 @@ __all__ = [
     "RaceHazard",
     "SERVE_RELOAD",
     "SERVE_SCORE",
+    "SERVE_WORKER",
     "SanitizedLock",
     "SimulatedCrash",
     "TRAINER_EPOCH",
@@ -64,4 +67,5 @@ __all__ = [
     "lockset",
     "reset",
     "sanitize",
+    "worker_site",
 ]

@@ -43,7 +43,18 @@ CKPT_PAYLOAD_WRITE = "ckpt:payload-write"
 CKPT_MANIFEST_WRITE = "ckpt:manifest-write"
 SERVE_SCORE = "serve:score"
 SERVE_RELOAD = "serve:reload"
+SERVE_WORKER = "serve:worker"
 DATA_CACHE_WRITE = "data:cache-write"
+
+
+def worker_site(worker_id: int) -> str:
+    """Fault-site name targeting one shard worker of a serving pool.
+
+    The pool front door checks both :data:`SERVE_WORKER` (any worker)
+    and this per-worker site before dispatching, so chaos tests can
+    crash or slow one specific shard while its replicas stay healthy.
+    """
+    return f"serve:worker:{int(worker_id)}"
 
 
 class SimulatedCrash(RuntimeError):

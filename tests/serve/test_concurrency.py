@@ -17,10 +17,20 @@ import threading
 
 import numpy as np
 
-from repro.serve import CircuitBreaker, TTLCache
+from repro import testing
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    LEVEL_LIVE,
+    LEVEL_POPULARITY,
+    LEVEL_STALE,
+    CircuitBreaker,
+    ShardedService,
+    TTLCache,
+)
 
 from .test_breaker import FakeClock
-from .test_service import FakeModel, make_service
+from .test_service import POPULARITY, FakeModel, make_service
+from .test_shard import WideModel
 
 THREADS = 8
 ITERS = 400
@@ -171,3 +181,90 @@ class TestServiceConcurrency:
 
         _run_threads(worker, count=4)
         assert service._requests_seen == 4 * 50
+
+
+class TestShardedPoolConcurrency:
+    """Multi-shard hammers: the front door's shared state (down-list,
+    stale cache, metrics) under concurrent clients and chaos.  Run with
+    ``REPRO_SANITIZE=1`` these double as lockset-sanitizer probes."""
+
+    USERS = list(range(16))
+
+    def _make_pool(self, **kwargs):
+        clock = FakeClock()
+        workers = [
+            make_service(WideModel(), clock=clock) for _ in range(4)
+        ]
+        defaults = dict(
+            popularity=POPULARITY, clock=clock, metrics=MetricsRegistry()
+        )
+        defaults.update(kwargs)
+        return ShardedService(workers, **defaults), clock
+
+    def test_mark_down_reroute_hammer(self):
+        """Every dispatch to worker 0 crashes while 8 clients hammer:
+        the down-list bookkeeping must not lose the never-error
+        contract or a single response."""
+        pool, _ = self._make_pool(down_cooldown=0.0)
+        responses = []
+        record_lock = threading.Lock()
+
+        def worker(index):
+            local = []
+            for step in range(100):
+                response = pool.recommend(self.USERS[step % 16], top_n=3)
+                assert response.level in (LEVEL_LIVE, LEVEL_STALE,
+                                          LEVEL_POPULARITY)
+                local.append(response.worker)
+            with record_lock:
+                responses.extend(local)
+
+        with testing.CrashPoint(testing.worker_site(0), at=1, every=1):
+            _run_threads(worker)
+        testing.reset()
+        assert len(responses) == THREADS * 100
+        assert 0 not in responses  # crashed shard never answered
+
+    def test_front_door_ttl_expiry_races_popularity_fallback(self):
+        """Stale entries expire *while* every worker is down and eight
+        clients read them: the pre-fix TTLCache double-delete shape, on
+        the pool's own cache, with the popularity rung as the landing
+        zone.  One thread ages the clock mid-hammer."""
+        pool, clock = self._make_pool(down_cooldown=1000.0, stale_ttl=1.0)
+        for user in self.USERS:  # warm the front-door stale cache
+            assert pool.recommend(user, top_n=3).level == LEVEL_LIVE
+        seen = [set() for _ in range(THREADS)]
+
+        def worker(index):
+            for step in range(150):
+                if index == 0 and step % 10 == 0:
+                    clock.advance(0.2)  # expire entries mid-traffic
+                response = pool.recommend(self.USERS[step % 16], top_n=3)
+                assert response.worker is None  # all shards down
+                assert response.level in (LEVEL_STALE, LEVEL_POPULARITY)
+                assert response.items.size == 3
+                seen[index].add(response.level)
+
+        with testing.CrashPoint(testing.SERVE_WORKER, at=1, every=1):
+            _run_threads(worker)
+        testing.reset()
+        # The clock thread aged every entry past the 1s TTL, so the
+        # ladder's last rung was really exercised...
+        assert any(LEVEL_POPULARITY in levels for levels in seen)
+        # ...and nothing re-populated the cache while workers were down.
+        assert len(pool.stale_cache) == 0
+
+    def test_metrics_counts_are_exact_under_concurrency(self):
+        pool, _ = self._make_pool()
+        total = THREADS * 50
+
+        def worker(index):
+            for step in range(50):
+                pool.recommend((index * 50 + step) % 64, top_n=2)
+
+        _run_threads(worker)
+        metrics = pool._registry()
+        assert metrics.get("serve.pool.requests") == total
+        assert metrics.get("serve.pool.responses.live") == total
+        histogram = metrics.histogram("serve.pool.request_seconds")
+        assert histogram.count == total

@@ -1,0 +1,218 @@
+"""Chaos under load: Zipf traffic vs a 4-worker pool taking real hits.
+
+The scale-out acceptance suite: a seeded Zipf trace is driven against a
+pool of checkpoint-backed workers while :mod:`repro.testing` injects a
+worker crash, a slow shard, a pool-wide scoring outage, and a mid-run
+checkpoint hot reload.  The run must end with **zero errored
+responses**, the degradation-rung budget respected, and a complete obs
+audit trail (pool + per-shard latency histograms, breaker-transition
+counters on the workers that took the scoring outage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import testing
+from repro.ckpt import CheckpointManager
+from repro.models import BPRMF
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    SLO,
+    CheckpointModelProvider,
+    CircuitBreaker,
+    FaultWindow,
+    RecommendationService,
+    RetryPolicy,
+    ShardedService,
+    ZipfTraffic,
+    run_load,
+)
+
+from .test_breaker import FakeClock
+
+NUM_USERS, NUM_ITEMS, DIM = 64, 16, 8
+FINGERPRINT = "fp-load"
+POPULARITY = np.arange(NUM_ITEMS, dtype=np.float64)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
+
+
+def make_model(seed: int = 0) -> BPRMF:
+    return BPRMF(NUM_USERS, NUM_ITEMS, DIM, rng=np.random.default_rng(seed))
+
+
+def snapshot(model: BPRMF, step: int) -> dict:
+    return {
+        "fingerprint": FINGERPRINT,
+        "step": step,
+        "model": model.state_dict(),
+    }
+
+
+def make_checkpoint_pool(tmp_path, num_workers=4, metrics=None):
+    """A pool whose workers all hot-reload from one checkpoint dir."""
+    manager = CheckpointManager(str(tmp_path))
+    manager.save(snapshot(make_model(seed=1), 1), step=1)
+    clock = FakeClock()
+    workers = []
+    for _ in range(num_workers):
+        provider = CheckpointModelProvider(str(tmp_path), builder=make_model)
+        workers.append(
+            RecommendationService(
+                provider,
+                popularity=POPULARITY,
+                default_top_n=3,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+                breaker=CircuitBreaker(
+                    failure_threshold=2, recovery_time=5.0, clock=clock
+                ),
+                clock=clock,
+                sleep=clock.advance,
+            )
+        )
+    pool = ShardedService(
+        workers, popularity=POPULARITY, clock=clock, down_cooldown=0.5,
+        metrics=metrics,
+    )
+    pool.poll_reload()  # load step-1 everywhere before taking traffic
+    return pool, manager, clock
+
+
+def run_chaos(tmp_path, *, faults, requests=160, seed=7, metrics=None):
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    pool, manager, clock = make_checkpoint_pool(tmp_path, metrics=metrics)
+    # A newer checkpoint sits ready for any mid-run "reload" window.
+    manager.save(snapshot(make_model(seed=2), 2), step=2)
+    traffic = ZipfTraffic(NUM_USERS, requests, rps=400.0, skew=1.1, seed=seed)
+    report = run_load(
+        pool,
+        traffic,
+        concurrency=6,
+        pace=False,
+        faults=faults,
+        top_n=3,
+        metrics=metrics,
+        clock=clock,
+        sleep=lambda _s: None,
+    )
+    return pool, report
+
+
+CHAOS = (
+    FaultWindow(30, 60, "worker-crash", worker=0),
+    FaultWindow(70, 100, "worker-slow", worker=1, seconds=0.001),
+    FaultWindow(110, 111, "reload"),
+    FaultWindow(120, 150, "score-crash"),
+)
+
+
+class TestChaosUnderLoad:
+    def test_zero_errors_and_rung_budget_under_full_chaos(self, tmp_path):
+        """Crash + slow shard + scoring outage + hot reload in one run:
+        every request answered, most of them live."""
+        _, report = run_chaos(tmp_path, faults=CHAOS)
+        stats = report.summary()
+        assert stats["requests"] == 160
+        assert stats["errors"] == 0
+        report.assert_slo(
+            SLO(p99_seconds=5.0, max_errors=0,
+                min_live_fraction=0.5, max_popularity_fraction=0.35)
+        )
+
+    def test_worker_crash_window_forces_reroutes(self, tmp_path):
+        _, report = run_chaos(
+            tmp_path, faults=(FaultWindow(0, 160, "worker-crash", worker=0),)
+        )
+        stats = report.summary()
+        assert stats["errors"] == 0
+        assert stats["rerouted"] >= 1
+        # Worker 0 never answers while its site crashes every dispatch.
+        assert "0" not in stats["responses_by_worker"]
+
+    def test_mid_run_reload_swaps_every_worker_to_the_new_checkpoint(
+        self, tmp_path
+    ):
+        pool, report = run_chaos(
+            tmp_path, faults=(FaultWindow(80, 81, "reload"),)
+        )
+        assert report.summary()["errors"] == 0
+        versions = [w.provider.version() for w in pool.workers]
+        assert versions == ["ckpt-step-2"] * 4
+
+    def test_scoring_outage_trips_breakers_but_never_errors(self, tmp_path):
+        pool, report = run_chaos(
+            tmp_path, faults=(FaultWindow(0, 160, "score-crash"),)
+        )
+        stats = report.summary()
+        assert stats["errors"] == 0
+        # No stale answers exist (nothing ever scored live), so the
+        # whole run rides the popularity rung.
+        assert stats["responses_by_level"]["live"] == 0
+        assert stats["responses_by_level"]["popularity"] == 160
+        opened = [
+            w.counters.get("serve.breaker.open") for w in pool.workers
+        ]
+        assert all(count >= 1 for count in opened)
+
+
+class TestAuditTrail:
+    def test_obs_snapshot_carries_pool_and_per_shard_histograms(
+        self, tmp_path
+    ):
+        metrics = MetricsRegistry()
+        pool, report = run_chaos(tmp_path, faults=CHAOS, metrics=metrics)
+        snap = report.metrics_snapshot
+        assert snap["histograms"]["serve.pool.request_seconds"]["count"] == 160
+        shard_counts = {
+            shard: snap["histograms"]
+            .get(f"serve.shard{shard}.request_seconds", {"count": 0})["count"]
+            for shard in range(4)
+        }
+        assert all(count > 0 for count in shard_counts.values())
+        frontdoor = report.summary()["responses_by_worker"].get("frontdoor", 0)
+        assert sum(shard_counts.values()) + frontdoor == 160
+        counters = snap["counters"]
+        assert counters["serve.pool.requests"] == 160
+        assert counters["serve.pool.worker_error"] >= 1
+
+    def test_breaker_transitions_surface_in_worker_counters(self, tmp_path):
+        pool, _ = run_chaos(
+            tmp_path, faults=(FaultWindow(40, 120, "score-crash"),)
+        )
+        transitions = sum(
+            w.counters.get("serve.breaker.open") for w in pool.workers
+        )
+        assert transitions >= 1
+
+
+class TestSingleServiceHarness:
+    def test_run_load_drives_a_plain_service_too(self, tmp_path):
+        """The harness is pool-agnostic: workers=1 and no ``worker``
+        attribution, same zero-error contract."""
+        manager = CheckpointManager(str(tmp_path))
+        manager.save(snapshot(make_model(seed=1), 1), step=1)
+        clock = FakeClock()
+        service = RecommendationService(
+            CheckpointModelProvider(str(tmp_path), builder=make_model),
+            popularity=POPULARITY,
+            default_top_n=3,
+            clock=clock,
+            sleep=clock.advance,
+        )
+        service.poll_reload()
+        traffic = ZipfTraffic(NUM_USERS, 60, rps=100.0, seed=3)
+        report = run_load(
+            service, traffic, concurrency=4, pace=False,
+            faults=(FaultWindow(20, 40, "score-crash"),),
+            metrics=MetricsRegistry(), clock=clock, sleep=lambda _s: None,
+        )
+        stats = report.summary()
+        assert stats["workers"] == 1
+        assert stats["errors"] == 0
+        assert stats["responses_by_level"]["live"] > 0

@@ -1,0 +1,177 @@
+"""Load-generator determinism, Zipf shape, segmentation, SLO logic."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    SLO,
+    FaultWindow,
+    ShardedService,
+    ZipfTraffic,
+    run_load,
+    write_bench,
+)
+from repro.serve.loadgen import _segment
+
+from .test_breaker import FakeClock
+from .test_service import POPULARITY, FakeModel, make_service
+
+
+def make_fake_pool(num_workers=2, clock=None):
+    clock = clock or FakeClock()
+    workers = [
+        make_service(FakeModel(), clock=clock) for _ in range(num_workers)
+    ]
+    return ShardedService(workers, popularity=POPULARITY, clock=clock)
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self):
+        one = ZipfTraffic(500, 200, rps=100.0, skew=1.2, seed=9)
+        two = ZipfTraffic(500, 200, rps=100.0, skew=1.2, seed=9)
+        assert one.digest() == two.digest()
+        assert [(r.at, r.user) for r in one.trace()] == [
+            (r.at, r.user) for r in two.trace()
+        ]
+
+    def test_different_seed_different_trace(self):
+        one = ZipfTraffic(500, 200, seed=1)
+        two = ZipfTraffic(500, 200, seed=2)
+        assert one.digest() != two.digest()
+
+    def test_duration_sizes_the_trace(self):
+        traffic = ZipfTraffic(100, rps=50.0, duration=2.0, seed=0)
+        assert traffic.requests == 100
+        with pytest.raises(ValueError):
+            ZipfTraffic(100, 10, duration=1.0)
+        with pytest.raises(ValueError):
+            ZipfTraffic(100)
+
+    def test_zipf_skew_concentrates_traffic(self):
+        """With a heavy tail, the hottest user must dwarf the median."""
+        traffic = ZipfTraffic(1000, 5000, skew=1.2, seed=3)
+        users = [r.user for r in traffic.trace()]
+        counts = np.bincount(users, minlength=1000)
+        assert counts.max() > 50  # the head user alone
+        assert np.median(counts) <= 2  # most users barely appear
+
+    def test_arrivals_are_monotone_at_the_requested_rate(self):
+        traffic = ZipfTraffic(100, 1000, rps=200.0, seed=0)
+        arrivals = np.asarray([r.at for r in traffic.trace()])
+        assert (np.diff(arrivals) >= 0).all()
+        assert arrivals[-1] == pytest.approx(1000 / 200.0, rel=0.25)
+
+
+class TestSegmentation:
+    def test_gaps_run_fault_free(self):
+        crash = FaultWindow(10, 20, "score-crash")
+        slow = FaultWindow(30, 40, "score-slow", seconds=0.1)
+        segments = _segment(50, [slow, crash])
+        assert [(lo, hi, w.kind if w else None) for lo, hi, w in segments] == [
+            (0, 10, None), (10, 20, "score-crash"), (20, 30, None),
+            (30, 40, "score-slow"), (40, 50, None),
+        ]
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            _segment(50, [FaultWindow(0, 20, "score-crash"),
+                          FaultWindow(10, 30, "score-slow")])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(5, 5, "score-crash")
+        with pytest.raises(ValueError):
+            FaultWindow(0, 1, "unknown-kind")
+
+
+class TestRunDeterminism:
+    def _run_once(self, tmp_path, name):
+        """Pool + harness on fake clocks: latencies are all zero, so
+        the whole summary — and the BENCH file bytes — must be a pure
+        function of the seed."""
+        clock = FakeClock()
+        pool = make_fake_pool(num_workers=2, clock=clock)
+        traffic = ZipfTraffic(FakeModel.num_users, 120, rps=50.0, seed=4)
+        metrics = MetricsRegistry()
+        report = run_load(
+            pool, traffic, concurrency=4, pace=False, top_n=3,
+            metrics=metrics, clock=clock, sleep=lambda _s: None,
+        )
+        path = tmp_path / name
+        write_bench(str(path), [{"label": "workers-2", **report.summary()}],
+                    meta={"seed": 4})
+        return report, path.read_bytes()
+
+    def test_same_seed_identical_summary_and_bench_file(self, tmp_path):
+        first, bytes_one = self._run_once(tmp_path, "one.json")
+        second, bytes_two = self._run_once(tmp_path, "two.json")
+        assert first.summary() == second.summary()
+        assert bytes_one == bytes_two
+        payload = json.loads(bytes_one)
+        point = payload["operating_points"][0]
+        assert point["requests"] == 120
+        assert point["errors"] == 0
+        assert point["responses_by_level"]["live"] == 120
+        assert point["trace_sha256"] == ZipfTraffic(
+            FakeModel.num_users, 120, rps=50.0, seed=4
+        ).digest()
+
+    def test_bench_payload_shape(self, tmp_path):
+        _, raw = self._run_once(tmp_path, "shape.json")
+        payload = json.loads(raw)
+        assert payload["bench"] == "serve"
+        point = payload["operating_points"][0]
+        for key in ("latency_p50_seconds", "latency_p99_seconds",
+                    "throughput_rps", "responses_by_worker", "workers"):
+            assert key in point
+
+
+class TestSLO:
+    def _report_with(self, levels, latency=0.01, errors=0):
+        from repro.serve.loadgen import LoadReport
+
+        records = []
+        for index, level in enumerate(levels):
+            records.append({
+                "index": index, "user": index, "error": False,
+                "latency": latency, "level": level, "items": 3,
+                "worker": 0, "rerouted": 0,
+            })
+        for index in range(errors):
+            records.append({
+                "index": len(levels) + index, "user": 0, "error": True,
+                "exception": "RuntimeError: boom", "latency": latency,
+            })
+        return LoadReport(records=records, wall_seconds=1.0,
+                          trace_digest="x", workers=1)
+
+    def test_clean_run_passes(self):
+        report = self._report_with(["live"] * 10)
+        assert report.violations(SLO(p99_seconds=1.0)) == []
+        report.assert_slo(SLO(p99_seconds=1.0))
+
+    def test_errors_violate_the_zero_error_contract(self):
+        report = self._report_with(["live"] * 10, errors=1)
+        found = report.violations(SLO(p99_seconds=1.0))
+        assert any("errors" in v for v in found)
+        with pytest.raises(AssertionError):
+            report.assert_slo(SLO(p99_seconds=1.0))
+
+    def test_p99_breach_detected(self):
+        report = self._report_with(["live"] * 10, latency=2.0)
+        found = report.violations(SLO(p99_seconds=0.5))
+        assert any("p99" in v for v in found)
+
+    def test_rung_budget_enforced(self):
+        report = self._report_with(["popularity"] * 6 + ["live"] * 4)
+        found = report.violations(
+            SLO(p99_seconds=1.0, min_live_fraction=0.5,
+                max_popularity_fraction=0.25)
+        )
+        assert any("live fraction" in v for v in found)
+        assert any("popularity fraction" in v for v in found)

@@ -1,0 +1,236 @@
+"""Shard-map properties and ShardedService routing/failover/fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import testing
+from repro.serve import (
+    LEVEL_LIVE,
+    LEVEL_POPULARITY,
+    LEVEL_STALE,
+    RecommendationService,
+    ShardMap,
+    ShardedService,
+    jump_hash,
+)
+
+from .test_breaker import FakeClock
+from .test_service import NUM_ITEMS, POPULARITY, FakeModel, make_service
+
+USERS_10K = range(10_000)
+
+
+class WideModel(FakeModel):
+    """FakeModel with a user space big enough to exercise routing."""
+
+    num_users = 100_000
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
+
+
+def make_pool(num_workers=4, clock=None, fail_times=0, **kwargs):
+    clock = clock or FakeClock()
+    workers = [
+        make_service(WideModel(fail_times=fail_times), clock=clock)
+        for _ in range(num_workers)
+    ]
+    defaults = dict(popularity=POPULARITY, clock=clock, down_cooldown=1.0)
+    defaults.update(kwargs)
+    return ShardedService(workers, **defaults), workers, clock
+
+
+class TestJumpHash:
+    def test_deterministic_and_in_range(self):
+        for buckets in (1, 2, 7, 64):
+            for key in (0, 1, 12345, 2**63):
+                bucket = jump_hash(key, buckets)
+                assert 0 <= bucket < buckets
+                assert bucket == jump_hash(key, buckets)
+
+    def test_rejects_empty_bucket_space(self):
+        with pytest.raises(ValueError):
+            jump_hash(1, 0)
+
+
+class TestShardMapProperties:
+    def test_stable_across_instances(self):
+        """The same (user, seed, N) must hash identically everywhere —
+        two processes build the same routing without coordination."""
+        one, two = ShardMap(8, seed=3), ShardMap(8, seed=3)
+        users = list(range(0, 5000, 7))
+        assert [one.shard_of(u) for u in users] == [
+            two.shard_of(u) for u in users
+        ]
+
+    def test_balanced_chi_square_over_10k_users(self):
+        """Occupancy over 10k sequential user ids must pass a
+        chi-square uniformity bound (p ≈ 0.001 for the shard dof)."""
+        # dof=N-1 critical values at p=0.001.
+        critical = {2: 13.82, 4: 16.27, 8: 24.32}
+        for shards, bound in critical.items():
+            counts = np.bincount(
+                ShardMap(shards).assignments(USERS_10K), minlength=shards
+            )
+            expected = len(USERS_10K) / shards
+            chi2 = float(((counts - expected) ** 2 / expected).sum())
+            assert chi2 < bound, f"{shards} shards unbalanced: {counts}"
+
+    def test_resharding_moves_about_one_over_n_plus_one(self):
+        """Growing N → N+1 must remap only ~1/(N+1) of users — the
+        consistent-hashing property that makes live resharding cheap."""
+        for shards in (2, 4, 8):
+            before = ShardMap(shards).assignments(USERS_10K)
+            after = ShardMap(shards + 1).assignments(USERS_10K)
+            moved = before != after
+            fraction = moved.mean()
+            ideal = 1.0 / (shards + 1)
+            assert 0.5 * ideal < fraction < 1.5 * ideal
+            # Every moved user lands on the *new* shard; nobody shuffles
+            # between surviving shards.
+            assert set(after[moved]) == {shards}
+
+    def test_route_puts_primary_first_and_covers_replicas(self):
+        shard_map = ShardMap(4)
+        for user in range(50):
+            order = shard_map.route(user)
+            assert order[0] == shard_map.shard_of(user)
+            assert sorted(order) == [0, 1, 2, 3]
+        assert len(shard_map.route(7, max_failover=1)) == 2
+        assert len(shard_map.route(7, max_failover=99)) == 4
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+class TestShardedRouting:
+    def test_primary_shard_answers(self):
+        pool, workers, _ = make_pool()
+        user = 5
+        response = pool.recommend(user, top_n=3)
+        assert response.level == LEVEL_LIVE
+        assert response.worker == pool.shard_map.shard_of(user)
+        assert response.rerouted == 0
+        assert response.items.size == 3
+
+    def test_requests_spread_over_all_workers(self):
+        pool, workers, _ = make_pool()
+        for user in range(200):
+            pool.recommend(user, top_n=2)
+        served = [
+            worker.counters.get("serve.responses.live") for worker in workers
+        ]
+        assert all(count > 0 for count in served)
+        assert sum(served) == 200
+
+    def test_numpy_array_exclude_is_accepted(self):
+        """Regression: the front door must not truth-test the exclude
+        container (ambiguous for numpy arrays from items_of_user)."""
+        pool, _, _ = make_pool()
+        response = pool.recommend(5, top_n=3, exclude=np.asarray([9, 8]))
+        assert response.level == LEVEL_LIVE
+        assert not set(int(i) for i in response.items) & {9, 8}
+
+    def test_malformed_requests_raise(self):
+        pool, _, _ = make_pool()
+        with pytest.raises(ValueError):
+            pool.recommend(-1)
+        with pytest.raises(ValueError):
+            pool.recommend(1, top_n=0)
+        with pytest.raises(ValueError):
+            pool.recommend(10**6)  # out of the model's user range
+
+
+class TestFailover:
+    def test_crashed_worker_reroutes_to_replica(self):
+        pool, workers, _ = make_pool()
+        user = next(u for u in range(100) if pool.shard_map.shard_of(u) == 0)
+        with testing.CrashPoint(testing.worker_site(0), at=1, every=1):
+            response = pool.recommend(user, top_n=3)
+        assert response.level == LEVEL_LIVE
+        assert response.worker != 0
+        assert response.rerouted == 1
+
+    def test_downed_worker_is_skipped_until_cooldown(self):
+        pool, workers, clock = make_pool(down_cooldown=5.0)
+        user = next(u for u in range(100) if pool.shard_map.shard_of(u) == 0)
+        with testing.CrashPoint(testing.worker_site(0), at=1, every=1):
+            pool.recommend(user, top_n=3)
+        # Site disarmed, but the shard is cooling down: replica answers
+        # without a dispatch attempt at worker 0.
+        hits_before = workers[0].counters.get("serve.requests")
+        response = pool.recommend(user, top_n=3)
+        assert response.worker != 0
+        assert workers[0].counters.get("serve.requests") == hits_before
+        clock.advance(10.0)
+        response = pool.recommend(user, top_n=3)
+        assert response.worker == 0
+
+    def test_all_workers_down_serves_front_door_stale_then_popularity(self):
+        pool, workers, clock = make_pool()
+        hot_user, cold_user = 3, 4
+        live = pool.recommend(hot_user, top_n=3)
+        assert live.level == LEVEL_LIVE
+        with testing.CrashPoint(testing.SERVE_WORKER, at=1, every=1):
+            stale = pool.recommend(hot_user, top_n=3)
+            popular = pool.recommend(cold_user, top_n=3)
+        assert stale.level == LEVEL_STALE
+        assert stale.worker is None
+        np.testing.assert_array_equal(stale.items, live.items)
+        assert popular.level == LEVEL_POPULARITY
+        np.testing.assert_array_equal(
+            popular.items, [NUM_ITEMS - 1, NUM_ITEMS - 2, NUM_ITEMS - 3]
+        )
+
+    def test_never_errors_even_with_no_popularity_table(self):
+        pool, _, _ = make_pool(popularity=None)
+        with testing.CrashPoint(testing.SERVE_WORKER, at=1, every=1):
+            response = pool.recommend(42, top_n=3)
+        assert response.level == LEVEL_POPULARITY
+        assert response.items.size == 0  # empty but answered, never raised
+
+
+class TestPoolLifecycle:
+    def test_health_aggregates_workers(self):
+        pool, workers, _ = make_pool()
+        health = pool.health()
+        assert health["status"] == "ok"
+        assert len(health["workers"]) == 4
+        assert health["shards"] == 4
+
+    def test_health_degraded_while_a_worker_is_down(self):
+        pool, _, _ = make_pool()
+        user = next(u for u in range(100) if pool.shard_map.shard_of(u) == 0)
+        with testing.CrashPoint(testing.worker_site(0), at=1, every=1):
+            pool.recommend(user)
+        assert pool.health()["status"] == "degraded"
+
+    def test_poll_reload_fans_out(self):
+        pool, workers, _ = make_pool()
+        outcomes = pool.poll_reload()
+        assert outcomes == ["unchanged"] * len(workers)
+
+    def test_slow_worker_site_injects_latency(self):
+        pool, _, _ = make_pool()
+        user = next(u for u in range(100) if pool.shard_map.shard_of(u) == 1)
+        slept = []
+        with testing.Latency(
+            testing.worker_site(1), seconds=0.5, sleep=slept.append
+        ) as fault:
+            pool.recommend(user)
+        assert fault.hits == 1
+        assert slept == [0.5]
+
+    def test_worker_count_must_match_shard_map(self):
+        clock = FakeClock()
+        workers = [make_service(WideModel(), clock=clock) for _ in range(2)]
+        with pytest.raises(ValueError):
+            ShardedService(workers, shard_map=ShardMap(3))
+        with pytest.raises(ValueError):
+            ShardedService([])
