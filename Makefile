@@ -5,11 +5,14 @@
 #   bench       the full pytest benchmark suite (paper tables/figures)
 #   load-smoke  scale-out gate: 4-worker sharded pool under Zipf load +
 #               chaos must hold its SLOs (zero errors, p99, rung budget)
+#   proc-smoke  process-isolation gate: SIGKILL/hang chaos against a
+#               4-worker *subprocess* pool with supervision must end
+#               with zero errors and every victim respawned
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke load-smoke obs-smoke retrieval-smoke concurrency-smoke
+.PHONY: lint test bench bench-smoke bench-hotpaths baseline train-resume serve-smoke load-smoke proc-smoke obs-smoke retrieval-smoke concurrency-smoke
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks examples
@@ -76,6 +79,19 @@ load-smoke:
 		--workers 4 --rps 400 --requests 240 --chaos \
 		--bench-out .load-smoke-bench.json
 	rm -f .load-smoke-bench.json
+
+# Process-isolation smoke: the SIGKILL chaos acceptance suite — a Zipf
+# trace against a 4-worker pool of forked subprocesses while workers
+# are SIGKILL'd and stalled mid-run.  Fails unless the run ends with
+# zero errors, every victim is respawned by the supervisor (or
+# circuit-disabled), and the supervision counters export cleanly.  The
+# hard wall-clock timeout guards against a supervision regression
+# turning into a hung CI job.
+proc-smoke:
+	timeout 300 $(PYTHON) -m pytest tests/serve/test_proc_load.py -q
+	timeout 120 $(PYTHON) -m repro.serve --dataset hetrec-del \
+		--method BPRMF --scale 0.02 --epochs 2 --batch-size 256 \
+		--backend process --workers 4 --rps 400 --requests 240 --chaos
 
 # Retrieval smoke: build a cluster-routed index over a small catalogue
 # and assert the correctness spine — full-probe routing reproduces exact

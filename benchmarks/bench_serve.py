@@ -9,7 +9,12 @@ acceptance contract (ISSUE 8) with three operating points persisted to
                        the single worker's closed-loop throughput;
 - ``workers-4-chaos``  the same pool while a worker crashes and another
                        shard runs 2x slow mid-trace — must answer
-                       **every** request (zero errors) inside the SLO.
+                       **every** request (zero errors) inside the SLO;
+- ``workers-4-hotcache`` the pool with the front-door hot-key cache on
+                       (250 ms TTL) — the Zipf head answers from cache,
+                       so hits must register and throughput must stay
+                       within 10% of the plain pooled point (it should
+                       beat it; the soft floor keeps 1-core CI honest).
 
 The scoring cost is a per-batch sleep (``EmulatedLatencyModel``), which
 releases the GIL the way a real BLAS/remote backend would — so the
@@ -64,7 +69,8 @@ SERVE_SLO = SLO(p99_seconds=0.5, max_errors=0,
                 min_live_fraction=0.9, max_popularity_fraction=0.05)
 
 
-def build_pool(num_workers: int, service_seconds: float) -> ShardedService:
+def build_pool(num_workers: int, service_seconds: float,
+               hot_ttl: float = 0.0, metrics=None) -> ShardedService:
     model = BPRMF(NUM_USERS, NUM_ITEMS, DIM, rng=np.random.default_rng(0))
     popularity = np.arange(NUM_ITEMS, dtype=np.float64)
     workers = []
@@ -83,7 +89,9 @@ def build_pool(num_workers: int, service_seconds: float) -> ShardedService:
                 ),
             )
         )
-    return ShardedService(workers, popularity=popularity, down_cooldown=0.05)
+    return ShardedService(workers, popularity=popularity,
+                          down_cooldown=0.05, hot_ttl=hot_ttl,
+                          metrics=metrics)
 
 
 def chaos_schedule(requests: int, service_seconds: float):
@@ -97,23 +105,30 @@ def chaos_schedule(requests: int, service_seconds: float):
 
 
 def measure(num_workers: int, requests: int, service_seconds: float,
-            with_chaos: bool) -> dict:
-    pool = build_pool(num_workers, service_seconds)
+            with_chaos: bool, hot_ttl: float = 0.0) -> dict:
+    metrics = MetricsRegistry()
+    pool = build_pool(num_workers, service_seconds, hot_ttl=hot_ttl,
+                      metrics=metrics)
     traffic = ZipfTraffic(NUM_USERS, requests, rps=1000.0, skew=1.1, seed=0)
     faults = (
         chaos_schedule(requests, service_seconds) if with_chaos else ()
     )
     report = run_load(
         pool, traffic, concurrency=CONCURRENCY, pace=False,
-        faults=faults, top_n=10, metrics=MetricsRegistry(),
+        faults=faults, top_n=10, metrics=metrics,
     )
     report.assert_slo(SERVE_SLO)
+    suffix = ("-chaos" if with_chaos else "") + (
+        "-hotcache" if hot_ttl > 0 else ""
+    )
     return {
-        "label": f"workers-{num_workers}" + ("-chaos" if with_chaos else ""),
+        "label": f"workers-{num_workers}{suffix}",
         "chaos": with_chaos,
         "max_batch": MAX_BATCH,
         "concurrency": CONCURRENCY,
         "service_time_seconds": service_seconds,
+        "hot_ttl_seconds": hot_ttl,
+        "hotkey_hits": metrics.get("serve.pool.hotkey.hits"),
         **report.summary(),
     }
 
@@ -129,10 +144,12 @@ def test_pool_throughput_scales_and_survives_chaos(benchmark):
             measure(1, requests, service_seconds, with_chaos=False),
             measure(4, requests, service_seconds, with_chaos=False),
             measure(4, requests, service_seconds, with_chaos=True),
+            measure(4, requests, service_seconds, with_chaos=False,
+                    hot_ttl=0.25),
         ]
 
     points = run_once(benchmark, run)
-    single, pooled, chaos = points
+    single, pooled, chaos, hotcache = points
     print()
     for point in points:
         print(
@@ -148,6 +165,14 @@ def test_pool_throughput_scales_and_survives_chaos(benchmark):
     assert all(point["errors"] == 0 for point in points)
     # Chaos really happened: worker 0 lost traffic to reroutes.
     assert chaos["rerouted"] >= 1
+    # The hot-key cache absorbed part of the Zipf head and at worst
+    # cost 10% throughput (soft floor — single-core CI runners jitter).
+    assert hotcache["hotkey_hits"] > 0
+    assert (hotcache["throughput_rps"]
+            >= 0.9 * pooled["throughput_rps"]), (
+        f"hot-key cache slowed the pool: {hotcache['throughput_rps']:.1f} "
+        f"vs {pooled['throughput_rps']:.1f} rps"
+    )
     speedup = pooled["throughput_rps"] / single["throughput_rps"]
     assert speedup >= MIN_SPEEDUP, (
         f"4-worker pool is only {speedup:.2f}x a single worker "

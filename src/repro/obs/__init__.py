@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .export import (
+    atomic_write_text,
     parse_prometheus,
     read_trace,
     sanitize_metric_name,
@@ -105,6 +106,7 @@ __all__ = [
     "SamplingProfiler",
     "TraceSpan",
     "Tracer",
+    "atomic_write_text",
     "disable_tracing",
     "enable_tracing",
     "exponential_buckets",

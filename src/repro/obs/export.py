@@ -14,12 +14,23 @@ Two wire formats cover the consumers we care about:
 Metric names are sanitised to the Prometheus grammar
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots, dashes, and slashes become
 underscores.
+
+Crash safety: every export lands via :func:`atomic_write_text` —
+content is written to a temp file in the destination directory,
+flushed, fsynced, then :func:`os.replace`'d over the target.  A process
+SIGKILL'd mid-export (exactly what the chaos-under-load suite does to
+serving workers) can therefore never leave a torn metrics or trace
+file: readers see the previous complete export or the new one, nothing
+in between.  The JSONL appender reads-heals-rewrites through the same
+path, dropping a torn trailing line left by an unclean writer.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from typing import Dict, List, Optional
 
 from .metrics import MetricsRegistry
@@ -133,18 +144,63 @@ def parse_prometheus(text: str) -> Dict[str, dict]:
     return metrics
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` all-or-nothing.
+
+    Temp file in the same directory (so the final rename never crosses
+    a filesystem), explicit flush + fsync (the data is durable before
+    it becomes visible), then ``os.replace`` (atomic on POSIX).  On any
+    failure the temp file is removed and the original ``path`` — if one
+    existed — is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            tmp_path = ""  # already gone; nothing left to clean up
+        raise
+
+
 def write_metrics(
     registry: MetricsRegistry, path: str, prefix: str = "repro"
 ) -> None:
-    """Write ``registry`` to ``path`` as Prometheus exposition text."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(to_prometheus(registry, prefix=prefix))
+    """Write ``registry`` to ``path`` as Prometheus exposition text
+    (atomically — a crash mid-export cannot tear the file)."""
+    atomic_write_text(path, to_prometheus(registry, prefix=prefix))
 
 
 def write_metrics_jsonl(registry: MetricsRegistry, path: str) -> None:
-    """Append one JSON snapshot line of ``registry`` to ``path``."""
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(registry.snapshot(), sort_keys=True) + "\n")
+    """Append one JSON snapshot line of ``registry`` to ``path``.
+
+    The append is read-heal-rewrite through :func:`atomic_write_text`:
+    existing complete lines are kept, a torn trailing line (an unclean
+    writer died mid-append) is dropped, and the new snapshot goes on
+    the end — so the file always parses line-by-line.
+    """
+    lines: List[str] = []
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                candidate = line.rstrip("\n")
+                if not candidate.strip():
+                    continue
+                try:
+                    json.loads(candidate)
+                except json.JSONDecodeError:
+                    continue  # torn tail from an unclean writer: heal it
+                lines.append(candidate)
+    lines.append(json.dumps(registry.snapshot(), sort_keys=True))
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def read_trace(path: str) -> List[dict]:

@@ -205,10 +205,22 @@ class Tracer:
         return [s.as_dict() for s in sorted(self.spans(), key=lambda s: s.span_id)]
 
     def export_jsonl(self, path: str) -> None:
-        """Write one JSON record per finished span to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            for record in self.records():
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        """Write one JSON record per finished span to ``path``.
+
+        Atomic (temp file + fsync + rename): a crash — or the SIGKILL
+        chaos suite — mid-export leaves the previous complete trace,
+        never a torn one.
+        """
+        # Local import: export pulls in metrics, never spans, so there
+        # is no cycle — but keeping it out of module scope makes that
+        # one-way dependency obvious.
+        from .export import atomic_write_text
+
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records()
+        )
+        atomic_write_text(path, text)
 
     def reset(self) -> None:
         with self._lock:

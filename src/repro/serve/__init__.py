@@ -21,6 +21,12 @@ stack covers every registered backbone):
 - :class:`MicroBatcher` — per-worker micro-batched scoring: concurrent
   requests coalesce into a single matmul, flushed on max-batch-size or
   max-wait, bit-identical to unbatched scoring;
+- :mod:`repro.serve.proc` — **process isolation**: each shard in its
+  own supervised subprocess behind the same front door
+  (``backend="process"`` via :func:`build_service`), with a
+  :class:`Supervisor` doing heartbeats, crash/hang detection, backoff
+  respawn, and a restart-budget circuit; scoring stays bit-identical
+  to the thread backend;
 - :mod:`repro.serve.loadgen` — a seed-deterministic Zipf traffic
   generator plus SLO-asserting load harness emitting
   ``BENCH_serve.json`` (the ``make load-smoke`` gate);
@@ -48,7 +54,17 @@ from .loadgen import (
     run_load,
     write_bench,
 )
+from .proc import (
+    ProcWorker,
+    ProcessPool,
+    WorkerSpec,
+    WorkerUnavailable,
+    build_service,
+    build_worker_service,
+)
 from .shard import PoolResponse, ShardMap, ShardedService, jump_hash
+from .supervisor import Supervisor
+from .transport import TransportClosed, TransportError, TransportTimeout
 from .provider import (
     REJECTED,
     RELOADED,
@@ -91,6 +107,8 @@ __all__ = [
     "ModelUnavailable",
     "OPEN",
     "PoolResponse",
+    "ProcWorker",
+    "ProcessPool",
     "REJECTED",
     "RELOADED",
     "ROLLED_BACK",
@@ -102,9 +120,17 @@ __all__ = [
     "ShardMap",
     "ShardedService",
     "StaticModelProvider",
+    "Supervisor",
     "TTLCache",
+    "TransportClosed",
+    "TransportError",
+    "TransportTimeout",
     "UNCHANGED",
+    "WorkerSpec",
+    "WorkerUnavailable",
     "ZipfTraffic",
+    "build_service",
+    "build_worker_service",
     "default_restore",
     "jump_hash",
     "run_load",

@@ -15,6 +15,9 @@ Examples::
     python -m repro.serve --dataset hetrec-del --scale 0.02 --epochs 2 \
         --workers 4 --rps 400 --requests 240 --chaos \
         --bench-out BENCH_serve.json  # sharded pool under Zipf load
+    python -m repro.serve --dataset hetrec-del --scale 0.02 --epochs 2 \
+        --workers 4 --backend process --chaos  # one subprocess per shard:
+        # SIGKILL + hang chaos against real processes, supervisor respawns
 
 Exit code 0 means every request was answered with a non-empty, valid
 top-N; in ``--chaos`` mode it additionally requires that degraded
@@ -64,6 +67,7 @@ from .loadgen import (
     run_load,
     write_bench,
 )
+from .proc import ProcessPool, WorkerSpec
 from .provider import (
     CheckpointModelProvider,
     StaticModelProvider,
@@ -119,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
              "by the Zipf load harness (0 = classic single service)",
     )
     parser.add_argument(
+        "--backend", default="thread", choices=("thread", "process"),
+        help="pooled-mode worker isolation: 'thread' keeps replicas "
+             "in-process; 'process' forks one supervised subprocess per "
+             "shard (heartbeats, crash respawn, SIGKILL chaos)",
+    )
+    parser.add_argument(
+        "--hot-ttl-ms", type=float, default=0.0, metavar="MS",
+        help="front-door hot-key cache TTL for the Zipf head "
+             "(0 disables; pooled mode only)",
+    )
+    parser.add_argument(
         "--rps", type=float, default=200.0,
         help="target request rate for the pooled load run",
     )
@@ -170,6 +185,24 @@ def build_parser() -> argparse.ArgumentParser:
              ".json/.jsonl extensions switch to a JSONL snapshot)",
     )
     return parser
+
+
+def _proc_chaos(total: int, workers: int, with_reload: bool):
+    """The process-pool chaos schedule: SIGKILL one shard, hang
+    another without exiting, and (with hot reload) swap checkpoints —
+    all against real subprocesses, mid-run."""
+    windows = [
+        FaultWindow(start=max(int(total * 0.20), 1),
+                    stop=max(int(total * 0.35), 2),
+                    kind="proc-kill", worker=0),
+        FaultWindow(start=max(int(total * 0.50), 3),
+                    stop=max(int(total * 0.65), 4),
+                    kind="proc-hang", worker=1 % workers, seconds=0.5),
+    ]
+    if with_reload:
+        at = max(int(total * 0.85), 5)
+        windows.append(FaultWindow(start=at, stop=at + 1, kind="reload"))
+    return windows
 
 
 def _pool_chaos(total: int, deadline: Optional[float], with_reload: bool):
@@ -239,8 +272,44 @@ def _run_pool(args, dataset, split, cell, deadline, retrieval_params) -> int:
             retrieval=tier,
         )
 
-    workers = [build_worker(wid) for wid in range(args.workers)]
-    pool = ShardedService(workers, popularity=popularity, down_cooldown=0.2)
+    hot_ttl = max(args.hot_ttl_ms, 0.0) / 1000.0
+    if args.backend == "process":
+        if hot_reload:
+            builder_fn = MODEL_BUILDERS[args.method]
+            model_builder = lambda: builder_fn(  # noqa: E731 — forked, not pickled
+                dataset, split, args.embed_dim, np.random.default_rng(0)
+            )
+        else:
+            trained = cell.trained.model
+            if service_time > 0:
+                trained = EmulatedLatencyModel(trained, service_time)
+            model_builder = lambda: trained  # noqa: E731
+        spec = WorkerSpec(
+            builder=model_builder,
+            checkpoint_dir=args.checkpoint_dir if hot_reload else None,
+            popularity=popularity,
+            default_top_n=args.top_n,
+            default_deadline=deadline,
+            breaker_recovery=0.1,
+        )
+        pool = ProcessPool(
+            spec, args.workers,
+            popularity=popularity,
+            hot_ttl=hot_ttl,
+            down_cooldown=0.2,
+            # Reroute hung-shard requests well inside the p99 SLO
+            # instead of waiting out the stall on the primary.
+            request_timeout=0.3,
+            heartbeat_timeout=0.3,
+        )
+        print(f"process pool up: {args.workers} supervised workers "
+              f"(pids {[w.pid for w in pool.workers]})")
+    else:
+        workers = [build_worker(wid) for wid in range(args.workers)]
+        pool = ShardedService(
+            workers, popularity=popularity, down_cooldown=0.2,
+            hot_ttl=hot_ttl,
+        )
     if hot_reload:
         outcomes = pool.poll_reload()
         print(f"hot-reload bootstrap: {outcomes}")
@@ -250,13 +319,15 @@ def _run_pool(args, dataset, split, cell, deadline, retrieval_params) -> int:
         dataset.num_users, args.requests,
         rps=args.rps, skew=args.skew, seed=args.seed,
     )
-    faults = (
-        _pool_chaos(args.requests, deadline, hot_reload)
-        if args.chaos else ()
-    )
+    if not args.chaos:
+        faults = ()
+    elif args.backend == "process":
+        faults = _proc_chaos(args.requests, args.workers, hot_reload)
+    else:
+        faults = _pool_chaos(args.requests, deadline, hot_reload)
     print(
         f"\ndriving {args.requests} Zipf requests at {args.rps:.0f} rps "
-        f"over {args.workers} workers "
+        f"over {args.workers} {args.backend} workers "
         f"({'chaos armed' if args.chaos else 'healthy run'})..."
     )
     report = run_load(
@@ -270,7 +341,13 @@ def _run_pool(args, dataset, split, cell, deadline, retrieval_params) -> int:
     )
     stats = report.summary()
     print(json.dumps(stats, indent=2, sort_keys=True))
-    print("pool health:", pool.health()["status"])
+    health = pool.health()
+    print("pool health:", health["status"])
+    if args.backend == "process":
+        for slot in health.get("supervisor", ()):
+            print(f"  worker {slot['worker']}: alive={slot['alive']} "
+                  f"restarts={slot['restarts']} disabled={slot['disabled']}")
+        pool.close()
 
     slo = SLO(
         p99_seconds=args.slo_p99_ms / 1000.0,
@@ -290,7 +367,8 @@ def _run_pool(args, dataset, split, cell, deadline, retrieval_params) -> int:
                 "responses) — the fault windows never bit"
             )
     if args.bench_out:
-        point = {"label": f"workers-{args.workers}", **stats}
+        suffix = "-proc" if args.backend == "process" else ""
+        point = {"label": f"workers-{args.workers}{suffix}", **stats}
         existing = []
         if os.path.exists(args.bench_out):
             with open(args.bench_out, "r", encoding="utf-8") as handle:

@@ -152,7 +152,20 @@ class FaultWindow:
         ``score-slow``    — scoring sleeps ``seconds``;
         ``reload``        — no fault armed; the service's
             ``poll_reload()`` runs before the window (mid-run
-            checkpoint hot reload under load).
+            checkpoint hot reload under load);
+        ``proc-kill``     — SIGKILL the targeted worker *process* at
+            the window boundary (process pools only);
+        ``proc-hang``     — stall the targeted worker process for
+            ``seconds`` without exiting (heartbeats go quiet, the
+            supervisor convicts and respawns it);
+        ``proc-corrupt``  — the targeted worker's next ``count``
+            scoring replies arrive with damaged frames (CRC failures
+            poison the channel; the front door reroutes).
+
+    The ``proc-*`` kinds are one-shot actions against real processes
+    (they fire via ``service.inject_fault`` when the window opens)
+    rather than armed fault sites, because the chaos they model lives
+    outside the serving process.
     """
 
     start: int
@@ -160,10 +173,13 @@ class FaultWindow:
     kind: str
     worker: Optional[int] = None
     seconds: float = 0.0
+    count: int = 1
 
     KINDS = (
-        "worker-crash", "worker-slow", "score-crash", "score-slow", "reload"
+        "worker-crash", "worker-slow", "score-crash", "score-slow", "reload",
+        "proc-kill", "proc-hang", "proc-corrupt",
     )
+    PROC_KINDS = ("proc-kill", "proc-hang", "proc-corrupt")
 
     def __post_init__(self) -> None:
         if self.kind not in self.KINDS:
@@ -182,9 +198,25 @@ class FaultWindow:
             return testing.worker_site(self.worker)
         return testing.SERVE_SCORE
 
-    def arm(self, stack: ExitStack) -> None:
-        """Enter this window's fault context(s) on ``stack``."""
+    def arm(self, stack: ExitStack, service: Optional[Any] = None) -> None:
+        """Enter this window's fault context(s) on ``stack``.
+
+        ``proc-*`` kinds instead fire one real process-level fault
+        through ``service.inject_fault`` as the window opens; a service
+        without that hook (thread pools) makes them a no-op, so one
+        chaos schedule can drive both backends.
+        """
         if self.kind == "reload":
+            return
+        if self.kind in self.PROC_KINDS:
+            inject = getattr(service, "inject_fault", None)
+            if inject is not None:
+                inject(
+                    self.kind,
+                    worker=self.worker or 0,
+                    seconds=self.seconds,
+                    frames=self.count,
+                )
             return
         if self.kind.endswith("-crash"):
             stack.enter_context(
@@ -345,7 +377,7 @@ def run_load(
             service.poll_reload()
         with ExitStack() as stack:
             if window is not None:
-                window.arm(stack)
+                window.arm(stack, service)
             _run_segment(
                 service, trace[lo:hi], records, concurrency, pace, start,
                 top_n, deadline, exclude_fn, clock, sleep,

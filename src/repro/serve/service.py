@@ -90,6 +90,7 @@ class RetryPolicy:
     base_delay: float = 0.01
     multiplier: float = 2.0
     max_delay: float = 0.25
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -98,11 +99,18 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0")
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        # Jitter draws from this seeded generator unless the caller
+        # injects their own, so two policies built with the same seed
+        # produce identical backoff traces (deterministic chaos runs).
+        self._rng = np.random.default_rng(self.seed)
 
-    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+    def backoff(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
         """Sleep before retry number ``attempt`` (1-based)."""
         cap = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
-        return cap * (0.5 + 0.5 * float(rng.random()))
+        draw = rng if rng is not None else self._rng
+        return cap * (0.5 + 0.5 * float(draw.random()))
 
 
 @dataclass

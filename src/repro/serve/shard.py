@@ -161,6 +161,15 @@ class ShardedService:
         stale_ttl / stale_entries: front-door stale cache tuning (a
             second chance above the per-worker caches, so one user's
             last good answer survives their whole shard going down).
+        hot_ttl / hot_entries: front-door hot-key cache.  Zipf traffic
+            concentrates a large share of requests on a few users, all
+            of whom hash to fixed shards; a short TTL (hundreds of
+            milliseconds) lets the front door re-serve the head's last
+            live answer without touching those shards.  ``hot_ttl=0``
+            (the default) disables the cache; hits/misses land in the
+            ``serve.pool.hotkey.*`` counters.  Only live responses are
+            cached, and only exact ``(user, top_n, exclude)`` matches
+            hit.
         metrics: a :class:`repro.obs.MetricsRegistry` (defaults to the
             process-global one) receiving pool and per-shard metrics.
         clock: injectable time source for tests.
@@ -180,6 +189,8 @@ class ShardedService:
         down_cooldown: float = 1.0,
         stale_ttl: float = 300.0,
         stale_entries: int = 4096,
+        hot_ttl: float = 0.0,
+        hot_entries: int = 2048,
         metrics: Optional[Any] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -187,6 +198,8 @@ class ShardedService:
             raise ValueError("a sharded service needs at least one worker")
         if down_cooldown < 0:
             raise ValueError(f"down_cooldown must be >= 0, got {down_cooldown}")
+        if hot_ttl < 0:
+            raise ValueError(f"hot_ttl must be >= 0, got {hot_ttl}")
         self.workers = list(workers)
         self.shard_map = shard_map or ShardMap(len(self.workers))
         if self.shard_map.num_shards != len(self.workers):
@@ -202,6 +215,12 @@ class ShardedService:
         self._down_until: List[float] = [0.0] * len(self.workers)
         self.stale_cache = TTLCache(
             max_entries=stale_entries, ttl=stale_ttl, clock=clock
+        )
+        self.hot_ttl = hot_ttl
+        self.hot_cache = (
+            TTLCache(max_entries=hot_entries, ttl=hot_ttl, clock=clock)
+            if hot_ttl > 0
+            else None
         )
         self._popularity = (
             None if popularity is None
@@ -233,6 +252,25 @@ class ShardedService:
             set(int(i) for i in exclude) if exclude is not None else set()
         )
 
+        hot_key = None
+        if self.hot_cache is not None:
+            hot_key = (user, top_n, tuple(sorted(excluded)))
+            hot = self.hot_cache.get(hot_key)
+            if hot is not None:
+                items, version = hot
+                metrics.add("serve.pool.hotkey.hits")
+                latency = self._clock() - start
+                self._observe(metrics, None, LEVEL_LIVE, latency)
+                return PoolResponse(
+                    user=user,
+                    items=items,
+                    level=LEVEL_LIVE,
+                    latency=latency,
+                    worker=None,
+                    model_version=version,
+                )
+            metrics.add("serve.pool.hotkey.misses")
+
         rerouted = 0
         response: Optional[ServeResponse] = None
         answered_by: Optional[int] = None
@@ -259,6 +297,10 @@ class ShardedService:
         if response is not None:
             if response.level == LEVEL_LIVE and response.items.size:
                 self.stale_cache.put(user, response.items)
+                if hot_key is not None:
+                    self.hot_cache.put(
+                        hot_key, (response.items, response.model_version)
+                    )
             self._observe(metrics, answered_by, response.level, latency)
             return PoolResponse(
                 user=user,
@@ -347,6 +389,26 @@ class ShardedService:
     # ------------------------------------------------------------------
     # lifecycle + probes
     # ------------------------------------------------------------------
+    def grow(self, worker: Any) -> int:
+        """Add one worker shard live (N → N+1) and return its shard id.
+
+        The worker is appended *before* the shard map is swapped, so a
+        request that reads the new map always finds its shard; a request
+        that raced ahead with the old map still routes into a valid
+        prefix of the worker list.  Jump-consistent hashing guarantees
+        only ~1/(N+1) of users move — everyone else keeps their shard
+        (and their shard's stale cache) across the grow.
+        """
+        with self._lock:
+            self.workers.append(worker)
+            self._down_until.append(0.0)
+            self.shard_map = ShardMap(
+                len(self.workers), seed=self.shard_map.seed
+            )
+            shard = len(self.workers) - 1
+        self._registry().add("serve.pool.grown")
+        return shard
+
     def poll_reload(self) -> List[str]:
         """Poll every worker's provider for a newer model (hot reload
         across the whole pool); returns the per-worker outcomes."""

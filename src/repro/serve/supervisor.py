@@ -1,0 +1,283 @@
+"""Worker supervision: heartbeats, crash detection, backoff respawn.
+
+The :class:`Supervisor` is the control loop that keeps a
+process-isolated pool (:class:`repro.serve.proc.ProcessPool`) serving
+through worker death.  One daemon thread sweeps every worker each
+``interval`` seconds:
+
+- **crash detection** — a worker whose process is no longer alive, or
+  whose connection was poisoned by a transport error, is scheduled for
+  respawn immediately;
+- **hang detection** — a live worker must answer a heartbeat ping
+  within ``heartbeat_timeout``; ``max_missed`` *consecutive* misses
+  mean the process is alive to the OS but dead to the pool
+  (hang-without-exit), so the supervisor SIGKILLs it and schedules a
+  respawn;
+- **backoff + jitter** — respawn number *k* waits
+  ``backoff.backoff(k)`` seconds first (exponential with seeded
+  jitter, the same :class:`~repro.serve.service.RetryPolicy` the
+  request path uses, so chaos respawn traces are deterministic under a
+  fixed seed);
+- **restart-budget circuit** — more than ``restart_budget`` respawns
+  inside ``budget_window`` seconds means the worker is flapping
+  (crash-looping on a bad model, poisoned host): it is **disabled** and
+  stays down; traffic reroutes to its replicas for good.
+
+While a worker is down its front-door calls fail fast
+(``WorkerUnavailable``), so the pool's never-error ladder — reroute →
+stale cache → popularity — covers the gap; the supervisor's job is to
+shrink the gap, not to hide it.
+
+Audit trail: every decision lands in the obs registry —
+``serve.supervisor.restarts`` / ``.crashes`` / ``.hangs`` /
+``.heartbeat_misses`` / ``.disabled`` (plus per-worker
+``serve.supervisor.worker.<id>.restarts``) — and each respawn records a
+``supervisor:respawn`` span, which is what the chaos-under-load suite
+asserts on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..concurrency import new_lock, shared_state
+from .service import RetryPolicy
+
+
+@shared_state(guard="_lock", exempt=("_stop",))
+class Supervisor:
+    """Heartbeat-driven respawn loop over a pool of process workers.
+
+    Args:
+        workers: the :class:`~repro.serve.proc.ProcWorker` handles to
+            supervise (``alive / broken / ping / kill / respawn``).
+        interval: seconds between sweeps.
+        heartbeat_timeout: seconds a worker gets to answer one ping.
+        max_missed: consecutive missed heartbeats that convict a hang.
+        backoff: respawn backoff policy (default: 50 ms doubling to a
+            2 s cap, seeded jitter).  Attempt numbers reset once a
+            respawned worker answers a heartbeat — a crash *loop* keeps
+            escalating, a one-off crash recovers fast.
+        restart_budget: respawns allowed inside ``budget_window``
+            before the worker is disabled for good.
+        budget_window: seconds the restart budget looks back over.
+        metrics: obs registry override (default: the process-global
+            one).
+        tracer: tracer override for the ``supervisor:respawn`` spans.
+
+    ``_stop`` is exempt from the guard: it is a ``threading.Event``,
+    internally synchronized and safe to set from any thread.
+
+    Wall-clock note: supervision uses real time (``time.monotonic``)
+    because the things it watches — SIGKILL'd processes, stalled
+    sockets — happen in real time; tests tune the intervals down
+    instead of faking the clock.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Any],
+        *,
+        interval: float = 0.05,
+        heartbeat_timeout: float = 0.5,
+        max_missed: int = 3,
+        backoff: Optional[RetryPolicy] = None,
+        restart_budget: int = 5,
+        budget_window: float = 30.0,
+        metrics: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("a supervisor needs at least one worker")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if max_missed < 1:
+            raise ValueError(f"max_missed must be >= 1, got {max_missed}")
+        if restart_budget < 1:
+            raise ValueError(
+                f"restart_budget must be >= 1, got {restart_budget}"
+            )
+        if budget_window <= 0:
+            raise ValueError(
+                f"budget_window must be > 0, got {budget_window}"
+            )
+        self.workers = list(workers)
+        self.interval = interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_missed = max_missed
+        self.backoff = backoff or RetryPolicy(
+            max_attempts=1, base_delay=0.05, multiplier=2.0, max_delay=2.0
+        )
+        self.restart_budget = restart_budget
+        self.budget_window = budget_window
+        self._metrics = metrics
+        self.tracer = obs.resolve_tracer(tracer)
+        self._lock = new_lock("serve.Supervisor")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Per-worker slot state, mutated only under _lock: consecutive
+        # respawn attempts, consecutive missed beats, respawn history
+        # timestamps (for the budget), the pending respawn time, and
+        # the disabled latch.
+        self._slots: List[Dict[str, Any]] = [
+            {
+                "missed": 0,
+                "attempts": 0,
+                "history": [],
+                "respawn_at": None,
+                "disabled": False,
+                "restarts": 0,
+            }
+            for _ in self.workers
+        ]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Supervisor":
+        thread = threading.Thread(
+            target=self._run, name="repro-serve-supervisor", daemon=True
+        )
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("supervisor already started")
+            self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sweep()
+
+    # ------------------------------------------------------------------
+    # one sweep
+    # ------------------------------------------------------------------
+    def sweep(self) -> None:
+        """Inspect every worker once (also callable directly in tests)."""
+        now = time.monotonic()
+        for index, worker in enumerate(self.workers):
+            with self._lock:
+                slot = self._slots[index]
+                if slot["disabled"]:
+                    continue
+                respawn_at = slot["respawn_at"]
+            if respawn_at is not None:
+                if now >= respawn_at:
+                    self._respawn(index, worker)
+                continue
+            if not worker.alive() or worker.broken():
+                self._registry().add("serve.supervisor.crashes")
+                self._plan_respawn(index, now)
+                continue
+            self._heartbeat(index, worker, now)
+
+    def _heartbeat(self, index: int, worker: Any, now: float) -> None:
+        if worker.ping(self.heartbeat_timeout):
+            with self._lock:
+                slot = self._slots[index]
+                slot["missed"] = 0
+                # A worker that answers heartbeats has proven the last
+                # respawn good: the next incident starts backoff fresh.
+                slot["attempts"] = 0
+            return
+        self._registry().add("serve.supervisor.heartbeat_misses")
+        self._registry().add(
+            f"serve.supervisor.worker.{index}.heartbeat_misses"
+        )
+        with self._lock:
+            slot = self._slots[index]
+            slot["missed"] += 1
+            convicted = slot["missed"] >= self.max_missed
+            if convicted:
+                slot["missed"] = 0
+        if convicted:
+            # Alive to the OS, dead to the pool: hang-without-exit.
+            self._registry().add("serve.supervisor.hangs")
+            worker.kill()
+            self._plan_respawn(index, time.monotonic())
+
+    def _plan_respawn(self, index: int, now: float) -> None:
+        """Schedule the next respawn, or trip the restart-budget circuit."""
+        with self._lock:
+            slot = self._slots[index]
+            history = [
+                stamp
+                for stamp in slot["history"]
+                if now - stamp <= self.budget_window
+            ]
+            slot["history"] = history
+            if len(history) >= self.restart_budget:
+                slot["disabled"] = True
+                slot["respawn_at"] = None
+                tripped = True
+            else:
+                slot["attempts"] += 1
+                delay = self.backoff.backoff(slot["attempts"])
+                slot["respawn_at"] = now + delay
+                tripped = False
+        if tripped:
+            self._registry().add("serve.supervisor.disabled")
+            self._registry().add(f"serve.supervisor.worker.{index}.disabled")
+
+    def _respawn(self, index: int, worker: Any) -> None:
+        with self.tracer.span("supervisor:respawn", worker=index) as span:
+            try:
+                worker.respawn()
+            except BaseException as err:  # a failed respawn is a retry,
+                span.set_attributes(outcome="failed", error=str(err))
+                self._registry().add("serve.supervisor.respawn_failures")
+                self._plan_respawn(index, time.monotonic())
+                return
+            span.set_attributes(outcome="ok")
+        now = time.monotonic()
+        self._registry().add("serve.supervisor.restarts")
+        self._registry().add(f"serve.supervisor.worker.{index}.restarts")
+        with self._lock:
+            slot = self._slots[index]
+            slot["history"].append(now)
+            slot["respawn_at"] = None
+            slot["missed"] = 0
+            slot["restarts"] += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> List[Dict[str, Any]]:
+        """Per-worker snapshot (health endpoint + test assertions)."""
+        now = time.monotonic()
+        report = []
+        for index, worker in enumerate(self.workers):
+            with self._lock:
+                slot = dict(self._slots[index])
+            respawn_at = slot["respawn_at"]
+            report.append(
+                {
+                    "worker": index,
+                    "alive": worker.alive(),
+                    "broken": worker.broken(),
+                    "disabled": slot["disabled"],
+                    "missed": slot["missed"],
+                    "restarts": slot["restarts"],
+                    "respawn_in": (
+                        None if respawn_at is None else max(0.0, respawn_at - now)
+                    ),
+                }
+            )
+        return report
+
+    def _registry(self) -> Any:
+        return self._metrics if self._metrics is not None else obs.get_metrics()
+
+
+__all__ = ["Supervisor"]

@@ -18,6 +18,8 @@ from .faults import (
     CKPT_MANIFEST_WRITE,
     CKPT_PAYLOAD_WRITE,
     DATA_CACHE_WRITE,
+    PROC_FRAME,
+    PROC_START,
     SERVE_RELOAD,
     SERVE_SCORE,
     SERVE_WORKER,
@@ -53,6 +55,8 @@ __all__ = [
     "DeadlockHazard",
     "FaultyWrites",
     "Latency",
+    "PROC_FRAME",
+    "PROC_START",
     "RaceHazard",
     "SERVE_RELOAD",
     "SERVE_SCORE",

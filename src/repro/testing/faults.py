@@ -45,6 +45,8 @@ SERVE_SCORE = "serve:score"
 SERVE_RELOAD = "serve:reload"
 SERVE_WORKER = "serve:worker"
 DATA_CACHE_WRITE = "data:cache-write"
+PROC_FRAME = "proc:frame"
+PROC_START = "proc:start"
 
 
 def worker_site(worker_id: int) -> str:

@@ -1,0 +1,122 @@
+"""Crash-safe export: atomic writes, torn-tail healing, no tmp litter.
+
+Every obs exporter lands through :func:`repro.obs.atomic_write_text`
+(temp file + fsync + rename), so a process SIGKILL'd mid-export — the
+exact chaos the process-pool suite inflicts — can never leave a torn
+metrics or trace file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    atomic_write_text,
+    parse_prometheus,
+    read_trace,
+    write_metrics,
+    write_metrics_jsonl,
+)
+
+
+def tmp_litter(directory):
+    return [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "hello\n")
+        assert path.read_text(encoding="utf-8") == "hello\n"
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "first complete export\n")
+        atomic_write_text(str(path), "second complete export\n")
+        assert path.read_text(encoding="utf-8") == "second complete export\n"
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_failed_write_preserves_the_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "the good export\n")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(str(path), "the torn export\n")
+        monkeypatch.undo()
+        # Original intact, temp file cleaned up.
+        assert path.read_text(encoding="utf-8") == "the good export\n"
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_missing_target_directory_raises_without_litter(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write_text(str(tmp_path / "nope" / "out.txt"), "x")
+        assert tmp_litter(str(tmp_path)) == []
+
+
+class TestExportersAreAtomic:
+    def test_write_metrics_leaves_no_litter(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.add("serve.supervisor.restarts", 3)
+        path = tmp_path / "metrics.prom"
+        write_metrics(registry, str(path))
+        parsed = parse_prometheus(path.read_text(encoding="utf-8"))
+        assert "repro_serve_supervisor_restarts_total" in parsed
+        assert tmp_litter(str(tmp_path)) == []
+
+    def test_trace_export_leaves_no_litter(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("request"):
+            with tracer.span("score"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        records = read_trace(str(path))
+        assert [r["name"] for r in records] == ["request", "score"]
+        assert tmp_litter(str(tmp_path)) == []
+
+
+class TestJsonlHealing:
+    def test_append_keeps_prior_snapshots(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry()
+        registry.add("requests", 1)
+        write_metrics_jsonl(registry, str(path))
+        registry.add("requests", 1)
+        write_metrics_jsonl(registry, str(path))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        counts = [json.loads(line)["counters"]["requests"] for line in lines]
+        assert counts == [1, 2]
+
+    def test_torn_trailing_line_is_healed_on_next_append(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = MetricsRegistry()
+        registry.add("requests", 5)
+        write_metrics_jsonl(registry, str(path))
+        # Simulate an unclean writer that died mid-append.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"counters": {"requests": 6')
+        write_metrics_jsonl(registry, str(path))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2  # torn tail dropped, not resurrected
+        for line in lines:
+            json.loads(line)  # every surviving line parses
+
+    def test_blank_lines_are_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"counters": {}}\n\n\n', encoding="utf-8")
+        registry = MetricsRegistry()
+        write_metrics_jsonl(registry, str(path))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert tmp_litter(str(tmp_path)) == []

@@ -1,0 +1,203 @@
+"""Acceptance: SIGKILL/hang chaos under Zipf load vs a real process pool.
+
+The headline robustness gate (also run by ``make proc-smoke``): a
+seeded Zipf trace is driven closed-loop against a 4-worker pool of
+**forked subprocesses** while the fault windows SIGKILL two workers and
+stall a third mid-run.  The run must end with zero errored responses,
+every killed worker respawned by the supervisor (or circuit-disabled),
+and the supervision counters visible in the exported obs snapshot —
+written through the crash-safe atomic path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import testing
+from repro.ckpt import CheckpointManager
+from repro.models import BPRMF
+from repro.obs import MetricsRegistry, parse_prometheus, write_metrics
+from repro.serve import (
+    FaultWindow,
+    LEVEL_LIVE,
+    ProcessPool,
+    WorkerSpec,
+    ZipfTraffic,
+    run_load,
+)
+from repro.serve.provider import RELOADED
+
+from .test_proc import wait_until
+
+NUM_USERS, NUM_ITEMS, DIM = 64, 16, 8
+POPULARITY = np.arange(NUM_ITEMS, dtype=np.float64)
+FINGERPRINT = "fp-proc-load"
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
+
+
+def make_model():
+    return BPRMF(NUM_USERS, NUM_ITEMS, DIM, rng=np.random.default_rng(3))
+
+
+def snapshot(model, step):
+    return {
+        "fingerprint": FINGERPRINT,
+        "step": step,
+        "model": model.state_dict(),
+    }
+
+
+def make_pool(checkpoint_dir, metrics, **overrides):
+    spec = WorkerSpec(
+        builder=make_model,
+        checkpoint_dir=checkpoint_dir,
+        popularity=POPULARITY,
+        default_top_n=3,
+        breaker_recovery=0.1,
+    )
+    settings = dict(
+        supervisor_interval=0.05,
+        heartbeat_timeout=0.25,
+        max_missed=2,
+        request_timeout=0.5,
+        down_cooldown=0.1,
+        metrics=metrics,
+    )
+    settings.update(overrides)
+    return ProcessPool(spec, 4, **settings)
+
+
+def test_chaos_under_load_never_errors_and_respawns(tmp_path):
+    manager = CheckpointManager(str(tmp_path / "ckpt"))
+    manager.save(snapshot(make_model(), 1), step=1)
+    metrics = MetricsRegistry()
+    traffic = ZipfTraffic(
+        num_users=NUM_USERS, requests=360, rps=400.0, skew=1.1, seed=11
+    )
+    faults = (
+        FaultWindow(start=60, stop=61, kind="proc-kill", worker=0),
+        FaultWindow(start=150, stop=151, kind="proc-kill", worker=1),
+        FaultWindow(
+            start=240, stop=241, kind="proc-hang", worker=2, seconds=1.5
+        ),
+    )
+    with make_pool(str(tmp_path / "ckpt"), metrics) as pool:
+        report = run_load(
+            pool,
+            traffic,
+            concurrency=6,
+            pace=False,
+            faults=faults,
+            top_n=3,
+            metrics=metrics,
+        )
+        stats = report.summary()
+
+        # The never-error contract under real process chaos.
+        assert stats["requests"] == 360
+        assert stats["errors"] == 0
+        assert stats["responses_by_level"].get(LEVEL_LIVE, 0) > 0
+
+        # Every worker ends the run respawned (or circuit-disabled) —
+        # give the supervisor a moment to finish in-flight respawns.
+        def settled():
+            status = pool.supervisor.status()
+            return all(
+                (entry["alive"] and not entry["broken"])
+                or entry["disabled"]
+                for entry in status
+            )
+
+        assert wait_until(settled, timeout=10.0)
+        # Both SIGKILL victims (and the convicted hang) came back.
+        assert wait_until(
+            lambda: metrics.get("serve.supervisor.restarts") >= 3,
+            timeout=10.0,
+        )
+        assert metrics.get("serve.supervisor.worker.0.restarts") >= 1
+        assert metrics.get("serve.supervisor.worker.1.restarts") >= 1
+        assert metrics.get("serve.supervisor.hangs") >= 1
+        assert metrics.get("serve.supervisor.heartbeat_misses") >= 2
+
+        # The pool still serves live traffic after the storm.
+        assert pool.recommend(7, top_n=3).level == LEVEL_LIVE
+
+    # Supervision counters made it into the load report's snapshot...
+    counters = report.metrics_snapshot["counters"]
+    assert counters.get("serve.pool.requests", 0) >= 360
+    # ...and survive a crash-safe export round trip.
+    out = str(tmp_path / "metrics.prom")
+    write_metrics(metrics, out)
+    parsed = parse_prometheus(open(out, encoding="utf-8").read())
+    assert "repro_serve_supervisor_restarts_total" in parsed
+    assert "repro_serve_supervisor_heartbeat_misses_total" in parsed
+    leftovers = [
+        name for name in os.listdir(str(tmp_path)) if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+def test_hot_reload_under_process_backend(tmp_path):
+    directory = str(tmp_path / "ckpt")
+    manager = CheckpointManager(directory)
+    manager.save(snapshot(make_model(), 1), step=1)
+    metrics = MetricsRegistry()
+    with make_pool(directory, metrics) as pool:
+        before = pool.recommend(5, top_n=3)
+        assert before.model_version == "ckpt-step-1"
+        manager.save(snapshot(make_model(), 2), step=2)
+        outcomes = pool.poll_reload()
+        assert outcomes == [RELOADED] * 4
+        after = pool.recommend(5, top_n=3)
+        assert after.model_version == "ckpt-step-2"
+
+
+def test_kill_during_sustained_load_with_reroute_accounting(tmp_path):
+    """A focused two-kill run asserting the reroute counters move."""
+    directory = str(tmp_path / "ckpt")
+    CheckpointManager(directory).save(snapshot(make_model(), 1), step=1)
+    metrics = MetricsRegistry()
+    traffic = ZipfTraffic(
+        num_users=NUM_USERS, requests=200, rps=400.0, skew=1.3, seed=5
+    )
+    with make_pool(directory, metrics) as pool:
+        counts = np.bincount(
+            [request.user for request in traffic.trace()],
+            minlength=NUM_USERS,
+        )
+        hot_shard = pool.shard_map.shard_of(int(counts.argmax()))
+        faults = (
+            FaultWindow(start=30, stop=31, kind="proc-kill", worker=hot_shard),
+            FaultWindow(
+                start=120, stop=121, kind="proc-kill", worker=hot_shard
+            ),
+        )
+        report = run_load(
+            pool,
+            traffic,
+            concurrency=4,
+            pace=False,
+            faults=faults,
+            top_n=3,
+            metrics=metrics,
+        )
+        stats = report.summary()
+        assert stats["errors"] == 0
+        # Killing the hottest shard forces visible failover.
+        assert stats["rerouted"] > 0
+        assert metrics.get("serve.pool.worker_error") > 0
+        assert wait_until(
+            lambda: metrics.get(
+                f"serve.supervisor.worker.{hot_shard}.restarts"
+            ) >= 1,
+            timeout=10.0,
+        )

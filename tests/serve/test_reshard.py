@@ -1,0 +1,136 @@
+"""Live resharding: growing the pool N→N+1 while requests are in flight.
+
+``ShardedService.grow`` swaps in a jump-consistent ``ShardMap`` one
+shard wider.  The properties under test: the swap is atomic from a
+client's perspective (no request ever errors or indexes a missing
+worker), only ~1/(N+1) of users move, and every mover lands on the
+*new* shard — nobody else is shuffled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import testing
+from repro.serve import LEVEL_LIVE, ShardMap
+
+from .test_breaker import FakeClock
+from .test_service import make_service
+from .test_shard import WideModel, make_pool
+
+USERS = range(2_000)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    testing.reset()
+
+
+class TestGrow:
+    def test_grow_widens_the_map_and_returns_the_new_shard(self):
+        pool, workers, clock = make_pool(num_workers=3)
+        new_shard = pool.grow(make_service(WideModel(), clock=clock))
+        assert new_shard == 3
+        assert pool.shard_map.num_shards == 4
+        assert len(pool.workers) == 4
+        assert pool._registry().get("serve.pool.grown") == 1
+
+    def test_only_movers_change_shard_and_all_land_on_the_new_one(self):
+        pool, _, clock = make_pool(num_workers=4)
+        before = {user: pool.shard_map.shard_of(user) for user in USERS}
+        pool.grow(make_service(WideModel(), clock=clock))
+        moved = 0
+        for user in USERS:
+            after = pool.shard_map.shard_of(user)
+            if after != before[user]:
+                assert after == 4  # movers only ever go to the new shard
+                moved += 1
+        # Jump-consistent growth moves ~1/(N+1) of keys (here 1/5).
+        assert 0.10 * len(USERS) < moved < 0.30 * len(USERS)
+
+    def test_grown_shard_actually_serves_its_users(self):
+        pool, _, clock = make_pool(num_workers=2)
+        new_shard = pool.grow(make_service(WideModel(), clock=clock))
+        movers = [
+            user for user in USERS
+            if pool.shard_map.shard_of(user) == new_shard
+        ]
+        assert movers  # growth that routes nobody would be vacuous
+        for user in movers[:20]:
+            response = pool.recommend(user, top_n=3)
+            assert response.level == LEVEL_LIVE
+            assert response.worker == new_shard
+
+    def test_seed_is_preserved_across_growth(self):
+        pool, _, clock = make_pool(num_workers=3, shard_map=ShardMap(3, seed=9))
+        pool.grow(make_service(WideModel(), clock=clock))
+        assert pool.shard_map.seed == 9
+        assert pool.shard_map.num_shards == 4
+
+
+class TestGrowUnderTraffic:
+    def test_no_request_errors_while_the_pool_grows(self):
+        pool, _, clock = make_pool(num_workers=2)
+        errors = []
+        responses = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def client(offset):
+            user = offset
+            while not stop.is_set():
+                try:
+                    response = pool.recommend(user % 1_000, top_n=3)
+                except BaseException as err:  # any error fails the test
+                    with lock:
+                        errors.append(err)
+                    return
+                with lock:
+                    responses.append(response)
+                user += 7
+
+        threads = [
+            threading.Thread(target=client, args=(offset,))
+            for offset in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        final_mark = 0
+        try:
+            # Grow the pool three times while the clients are hammering,
+            # letting a burst of *post-growth* requests land each time.
+            for _ in range(3):
+                with lock:
+                    mark = len(responses)
+                pool.grow(make_service(WideModel(), clock=clock))
+                final_mark = mark
+                while True:
+                    with lock:
+                        seen = len(responses)
+                    if seen >= mark + 200:
+                        break
+                    time.sleep(0.001)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert errors == []
+        assert all(r.level == LEVEL_LIVE for r in responses)
+        assert pool.shard_map.num_shards == 5
+        # The widened map is actually in use: requests issued after the
+        # final grow reach shards that did not exist at pool creation.
+        post_growth_workers = {r.worker for r in responses[final_mark:]}
+        assert post_growth_workers >= {0, 1}
+        assert any(shard >= 2 for shard in post_growth_workers)
+
+    def test_routing_is_consistent_after_concurrent_growth(self):
+        pool, _, clock = make_pool(num_workers=3)
+        pool.grow(make_service(WideModel(), clock=clock))
+        for user in range(200):
+            expected = pool.shard_map.shard_of(user)
+            assert pool.recommend(user, top_n=2).worker == expected

@@ -206,6 +206,51 @@ class TestBreakerIntegration:
         assert service.counters.get("serve.breaker.closed") == 1
 
 
+class TestRetryJitter:
+    def test_same_seed_draws_the_same_backoff_schedule(self):
+        first = RetryPolicy(max_attempts=5, base_delay=0.01, seed=42)
+        second = RetryPolicy(max_attempts=5, base_delay=0.01, seed=42)
+        schedule = [first.backoff(attempt) for attempt in (1, 2, 3, 4)]
+        assert schedule == [second.backoff(attempt) for attempt in (1, 2, 3, 4)]
+
+    def test_different_seeds_diverge(self):
+        a = RetryPolicy(base_delay=0.01, seed=1)
+        b = RetryPolicy(base_delay=0.01, seed=2)
+        assert [a.backoff(n) for n in (1, 2, 3)] != [
+            b.backoff(n) for n in (1, 2, 3)
+        ]
+
+    def test_jitter_stays_within_the_half_to_full_band(self):
+        policy = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=1.0, seed=7
+        )
+        for attempt in range(1, 6):
+            cap = min(0.01 * 2.0 ** (attempt - 1), 1.0)
+            for _ in range(50):
+                delay = policy.backoff(attempt)
+                assert 0.5 * cap <= delay <= cap
+
+    def test_injected_rng_overrides_the_policy_stream(self):
+        policy = RetryPolicy(base_delay=0.01, seed=0)
+        rng = np.random.default_rng(123)
+        expected_draw = np.random.default_rng(123).random()
+        delay = policy.backoff(1, rng)
+        assert delay == pytest.approx(0.01 * (0.5 + 0.5 * expected_draw))
+
+    def test_service_backoff_is_reproducible_across_instances(self):
+        # Two identically-seeded services retrying the same flaky model
+        # sleep for identical jittered durations — chaos traces replay.
+        sleeps = [[], []]
+        for index in range(2):
+            model = FakeModel(fail_times=2)
+            service = make_service(
+                model, sleep=sleeps[index].append, jitter_seed=9
+            )
+            assert service.recommend(0).retries == 2
+        assert sleeps[0] == sleeps[1]
+        assert len(sleeps[0]) == 2
+
+
 class TestValidationAndProbes:
     def test_rejects_bad_requests(self):
         service = make_service(FakeModel())
