@@ -18,6 +18,8 @@ Subpackages:
   serving subsystems;
 - :mod:`repro.serve` — resilient online serving (deadlines, circuit
   breaker, degradation ladder, validated hot reload);
+- :mod:`repro.train` — shared-memory data-parallel training (worker
+  replicas over a shared parameter arena, bit-deterministic epochs);
 - :mod:`repro.bench` — the experiment harness regenerating the paper's
   tables and figures.
 
@@ -37,10 +39,24 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import bench, ckpt, core, data, eval, models, nn, obs, perf, serve, testing  # noqa: F401
+from . import (  # noqa: F401
+    bench,
+    ckpt,
+    core,
+    data,
+    eval,
+    models,
+    nn,
+    obs,
+    perf,
+    serve,
+    testing,
+    train,
+)
 from .io import load_model, save_model
 
 __all__ = [
     "bench", "ckpt", "core", "data", "eval", "load_model", "models",
-    "nn", "obs", "perf", "save_model", "serve", "testing", "__version__",
+    "nn", "obs", "perf", "save_model", "serve", "testing", "train",
+    "__version__",
 ]

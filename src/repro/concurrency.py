@@ -109,6 +109,36 @@ def new_rlock(name: str = "rlock") -> Any:
     return threading.RLock()
 
 
+def require_fork_start_method(feature: str) -> None:
+    """Fail fast when the platform cannot ``fork``.
+
+    The serving process pool and the data-parallel trainer rely on
+    copy-on-write ``fork`` semantics: workers inherit live numpy
+    arrays, samplers, and shared-memory bindings without pickling.
+    Under ``spawn`` (the only method on some platforms) a child
+    re-imports the world instead, so none of that state would exist
+    and the worker would train a different model than the parent
+    thinks it launched.
+
+    Args:
+        feature: human-readable name of the subsystem asking, used in
+            the error message.
+
+    Raises:
+        RuntimeError: when ``fork`` is not among the platform's
+            available multiprocessing start methods.
+    """
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    if "fork" not in available:
+        raise RuntimeError(
+            f"{feature} requires the 'fork' multiprocessing start method, "
+            f"but this platform only offers {available}; run with the "
+            "'inline' backend (or on a fork-capable OS) instead"
+        )
+
+
 def set_lock_factory(
     factory: Optional[Callable[[str, bool], Any]]
 ) -> Optional[Callable[[str, bool], Any]]:
@@ -128,6 +158,7 @@ __all__ = [
     "guarded_by",
     "new_lock",
     "new_rlock",
+    "require_fork_start_method",
     "set_lock_factory",
     "shared_state",
 ]

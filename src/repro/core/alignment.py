@@ -25,6 +25,7 @@ import numpy as np
 
 from ..nn import Linear, Module, ProjectionHead, Tensor
 from ..nn import functional as F
+from ..nn import fusion
 from .config import IMCATConfig
 from .intents import intent_view, validate_intent_dims
 
@@ -421,6 +422,20 @@ class IntentAlignment(Module):
             if config.use_relatedness
             else np.ones((batch_size, k_count)) / k_count
         )
+        if (
+            fusion.is_fused()
+            and config.alignment_objective != "byol"
+            and batch_size > 0
+        ):
+            return self._alignment_loss_fused(
+                batch_size,
+                user_aggregation,
+                item_embeddings,
+                tag_aggregation_all,
+                tag_counts,
+                weights,
+                positive_masks,
+            )
         total = None
         for k in range(k_count):
             rows = np.arange(batch_size) * k_count + k
@@ -453,6 +468,95 @@ class IntentAlignment(Module):
                     positive_mask=mask.T if mask is not None else None,
                 )
                 term = u2it + it2u
+            total = term if total is None else total + term
+        return total * (1.0 / (2.0 * k_count * max(batch_size, 1)))
+
+    def _alignment_loss_fused(
+        self,
+        batch_size: int,
+        user_aggregation: Tensor,
+        item_embeddings: Tensor,
+        tag_aggregation_all: Tensor,
+        tag_counts: np.ndarray,
+        weights: np.ndarray,
+        positive_masks: Optional[Sequence[Optional[np.ndarray]]],
+    ) -> Tensor:
+        """Eqs. (10)-(14) with the K per-intent projections batched.
+
+        The per-intent tag projections and both projection-head layers
+        run as single block-diagonal :func:`repro.nn.fusion.batched_linear`
+        matmuls over ``(K, B, ·)`` stacks instead of K separate Linear
+        calls; normalisation, masking and the per-intent InfoNCE terms
+        operate on the exact same per-slice values, so the loss and every
+        parameter gradient are bit-identical to the eager per-``k`` loop.
+        """
+        config = self.config
+        k_count = config.num_intents
+        dim = self.intent_dim
+
+        def heads(stacked: Tensor) -> Tensor:
+            if not config.use_nlt:
+                return stacked
+            hidden = fusion.batched_linear(
+                stacked,
+                [head.fc1.weight for head in self._heads],
+                [head.fc1.bias for head in self._heads],
+            ).leaky_relu()
+            return fusion.batched_linear(
+                hidden, [head.fc2.weight for head in self._heads], None
+            )
+
+        # (B, K*dim) -> (K, B, dim): stack[k] is exactly intent_view(·, k).
+        u_stacked = user_aggregation.reshape(
+            batch_size, k_count, dim
+        ).transpose(1, 0, 2)
+        components = []
+        if config.align_tag:
+            # (B*K, d) -> (K, B, d): stack[k] rows are tag_agg for intent k.
+            tag_stacked = tag_aggregation_all.reshape(
+                batch_size, k_count, self.embed_dim
+            ).transpose(1, 0, 2)
+            projected = fusion.batched_linear(
+                tag_stacked,
+                [proj.weight for proj in self._tag_projections],
+                [proj.bias for proj in self._tag_projections],
+            )
+            has_tags = (tag_counts.T > 0).astype(np.float64)[:, :, None]
+            components.append(
+                F.scale_rows(F.l2_normalize(projected), has_tags)
+            )
+        if config.align_item:
+            item_stacked = item_embeddings.reshape(
+                batch_size, k_count, dim
+            ).transpose(1, 0, 2)
+            components.append(F.l2_normalize(item_stacked))
+        if not components:
+            raise ValueError(
+                "at least one of align_tag/align_item must be enabled "
+                "when the alignment loss is active"
+            )
+        z_stacked = components[0]
+        for part in components[1:]:
+            z_stacked = z_stacked + part
+        u_proj = F.l2_normalize(heads(u_stacked))
+        z_proj = F.l2_normalize(heads(z_stacked))
+        total = None
+        for k in range(k_count):
+            mask = positive_masks[k] if positive_masks is not None else None
+            row_w = weights[:, k]
+            u_p = u_proj[k]
+            z_p = z_proj[k]
+            u2it = F.info_nce(
+                u_p, z_p, config.tau, row_weights=row_w, positive_mask=mask
+            )
+            it2u = F.info_nce(
+                z_p,
+                u_p,
+                config.tau,
+                row_weights=row_w,
+                positive_mask=mask.T if mask is not None else None,
+            )
+            term = u2it + it2u
             total = term if total is None else total + term
         return total * (1.0 / (2.0 * k_count * max(batch_size, 1)))
 

@@ -17,7 +17,8 @@ Public surface:
   :func:`normalized_bipartite_adjacency`, …).
 """
 
-from . import functional
+from . import functional, fusion
+from .fusion import fused_mode, is_fused, set_fused
 from .gradcheck import GradcheckError, gradcheck
 from .init import normal, uniform, xavier_normal, xavier_uniform
 from .layers import (
@@ -98,8 +99,11 @@ __all__ = [
     "drop_nodes",
     "enable_grad",
     "functional",
+    "fused_mode",
+    "fusion",
     "gradcheck",
     "is_anomaly_enabled",
+    "is_fused",
     "is_grad_enabled",
     "no_grad",
     "normal",
@@ -107,6 +111,7 @@ __all__ = [
     "ones",
     "random_walk_edges",
     "row_normalize",
+    "set_fused",
     "set_grad_enabled",
     "sparse_matmul",
     "stack",

@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import fusion
 from .tensor import Tensor, as_tensor
 
 
@@ -249,7 +250,15 @@ def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
     """Bayesian Personalized Ranking loss (Eq. 1 / Eq. 2).
 
     ``-mean(log sigmoid(pos - neg))`` over the batch.
+
+    Under :func:`repro.nn.fusion.fused_mode` the whole chain runs as one
+    fused kernel; the result is bit-identical to the eager path.
     """
+    pos_scores = as_tensor(pos_scores)
+    neg_scores = as_tensor(neg_scores)
+    fused = fusion.elementwise_bpr(pos_scores, neg_scores)
+    if fused is not None:
+        return fused
     return -log_sigmoid(pos_scores - neg_scores).mean()
 
 
@@ -285,24 +294,19 @@ def info_nce(
     """
     if temperature <= 0.0:
         raise ValueError(f"temperature must be positive, got {temperature}")
+    queries = as_tensor(queries)
+    keys = as_tensor(keys)
+    fused = fusion.contrastive_info_nce(
+        queries, keys, temperature, row_weights, positive_mask
+    )
+    if fused is not None:
+        return fused
     logits = (queries @ keys.T) * (1.0 / temperature)
     log_probs = log_softmax(logits, axis=1)
     n = logits.shape[0]
-    if positive_mask is None:
-        positive_mask = np.eye(n, dtype=bool)
-    else:
-        positive_mask = np.asarray(positive_mask, dtype=bool)
-        if positive_mask.shape != (n, n):
-            raise ValueError(
-                f"positive_mask shape {positive_mask.shape} != ({n}, {n})"
-            )
-        # Ensure the self-pair is always a positive.
-        positive_mask = positive_mask | np.eye(n, dtype=bool)
-
-    pos_counts = positive_mask.sum(axis=1).astype(np.float64)
-    # Average log-prob over each row's positive set (Eq. 17 outer mean).
-    weights = positive_mask.astype(np.float64) / pos_counts[:, None]
-    if row_weights is not None:
-        weights = weights * np.asarray(row_weights, dtype=np.float64)[:, None]
+    # Average log-prob over each row's positive set (Eq. 17 outer mean);
+    # the weight matrix is shared with the fused kernel so mask handling
+    # cannot drift between the two paths.
+    weights = fusion.nce_weights(n, positive_mask, row_weights)
     picked = log_probs * Tensor(weights)
     return -picked.sum()

@@ -52,7 +52,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from .. import obs, testing
-from ..concurrency import new_lock, set_lock_factory, shared_state
+from ..concurrency import (
+    new_lock,
+    require_fork_start_method,
+    set_lock_factory,
+    shared_state,
+)
 from ..testing import lockset
 from .breaker import CircuitBreaker
 from .provider import CheckpointModelProvider, StaticModelProvider
@@ -397,6 +402,10 @@ class ProcWorker:
         self.start_timeout = start_timeout
         self.request_timeout = request_timeout
         self.heartbeat_timeout = heartbeat_timeout
+        if start_method == "fork":
+            require_fork_start_method(
+                "process-isolated serving workers (start_method='fork')"
+            )
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = new_lock(f"serve.ProcWorker{self.worker_id}")
         self._data_lock = new_lock(f"serve.ProcWorker{self.worker_id}.data")

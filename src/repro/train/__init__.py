@@ -1,0 +1,29 @@
+"""Training-at-speed subsystem: shared-memory data-parallel execution.
+
+:mod:`repro.train.parallel` provides the backend-agnostic engine both
+trainers (:func:`repro.models.training.fit_bpr` and
+:class:`repro.core.trainer.IMCATTrainer`) route their epoch loops
+through when ``dp_workers > 0``.  See that module's docstring for the
+determinism contract (worker replicas, shard scaling, worker-0
+handback).
+"""
+
+from . import parallel
+from .parallel import (
+    DataParallelEngine,
+    DataParallelTask,
+    EpochResult,
+    GradBoard,
+    ParamArena,
+    shard_bounds,
+)
+
+__all__ = [
+    "DataParallelEngine",
+    "DataParallelTask",
+    "EpochResult",
+    "GradBoard",
+    "ParamArena",
+    "parallel",
+    "shard_bounds",
+]

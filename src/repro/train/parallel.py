@@ -1,0 +1,535 @@
+"""Shared-memory data-parallel training.
+
+The engine splits each triplet batch across ``W`` workers, has every
+worker compute gradients for its contiguous shard, and applies a single
+optimizer step in the parent.  Two backends share one code path:
+
+- ``fork``: workers are forked processes.  Parameters live in a
+  :class:`ParamArena` (one ``multiprocessing.shared_memory`` block the
+  parameter tensors are re-bound into before the first fork), so the
+  parent's in-place Adam update is immediately visible to every worker.
+  Per-worker gradients go into disjoint slots of a :class:`GradBoard`
+  (lock-free by layout); two barriers per step order the exchange
+  (grads ready -> parent reduces and applies -> workers resume).
+- ``inline``: the same task protocol executed sequentially in-process,
+  bit-identical to ``fork`` by construction.  Used on platforms without
+  ``fork`` and to pin down the fork backend in tests.
+
+Determinism contract: every worker holds a *replica* of the sampling
+state (samplers, batch cyclers, the trainer RNG) and replays the full
+serial epoch — sampling identical full batches, then computing the loss
+only on its shard, scaled by ``n_w / B``.  Because each replica consumes
+its RNG streams in exactly the serial order, all replicas stay
+bit-synchronised without any communication.  At the epoch boundary,
+worker 0 hands its sampling/RNG/model-extra state back through a pipe
+and the parent adopts it, so checkpoints written by a data-parallel run
+are indistinguishable from serial ones.  With ``W = 1`` the shard is the
+whole batch and the ``x 1.0`` loss scale is exact, making the run
+bit-identical to serial training.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..concurrency import new_lock, require_fork_start_method, shared_state
+from ..nn.module import Parameter
+
+#: Byte alignment of every per-parameter region inside a shared block —
+#: matches numpy's own allocation alignment so BLAS sees arena-backed
+#: arrays exactly like heap-backed ones.
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+def shard_bounds(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` shard bounds splitting ``n`` rows.
+
+    The first ``n % workers`` shards get one extra row; with a single
+    worker the shard is the whole range.  Shards may be empty when
+    ``n < workers``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    base, rem = divmod(n, workers)
+    bounds = []
+    lo = 0
+    for rank in range(workers):
+        hi = lo + base + (1 if rank < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ParamArena:
+    """Re-binds parameter storage into one shared-memory block.
+
+    Constructed in the parent *before* the first fork: every worker then
+    inherits the mapping, so the parent's in-place optimizer update
+    (``param.data -= ...``) is the broadcast.  :meth:`detach` restores
+    private heap arrays and unlinks the block; call it exactly once,
+    from the creating process, when training finishes.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        offsets = []
+        cursor = 0
+        for param in self.parameters:
+            offsets.append(cursor)
+            cursor += _aligned(param.data.nbytes)
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        )
+        self._views: Optional[List[np.ndarray]] = []
+        for param, offset in zip(self.parameters, offsets):
+            view = np.ndarray(
+                param.data.shape,
+                dtype=param.data.dtype,
+                buffer=self._shm.buf,
+                offset=offset,
+            )
+            view[...] = param.data
+            param.data = view
+            self._views.append(view)
+
+    def detach(self) -> None:
+        """Copy parameters back to private arrays and free the block."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        for param in self.parameters:
+            param.data = param.data.copy()
+        self._views = None
+        shm.close()
+        shm.unlink()
+
+
+@shared_state(guard="_lock", exempt=("_shm", "_losses", "_has_loss"))
+class GradBoard:
+    """Per-worker gradient slots plus a loss board, reduced in the parent.
+
+    Layout (one block, shared-memory or private depending on backend):
+    ``W`` disjoint per-rank gradient regions, a ``(W, P)`` presence-flag
+    matrix (a parameter whose grad was ``None`` stays ``None`` after the
+    reduce, preserving the optimizer's skip semantics), ``W`` loss
+    scalars, and ``W`` loss-presence bytes (empty shards publish
+    nothing).  Writers touch only their own rank's region, so publishing
+    is lock-free; the ``_lock`` guards the board's own bookkeeping, which
+    is the only cross-context attribute state.
+    """
+
+    def __init__(
+        self, parameters: Sequence[Parameter], workers: int, shared: bool
+    ) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        self.workers = workers
+        num_params = len(self.parameters)
+        offsets = []
+        cursor = 0
+        for param in self.parameters:
+            offsets.append(cursor)
+            cursor += _aligned(param.data.nbytes)
+        rank_stride = cursor
+        flags_off = rank_stride * workers
+        losses_off = _aligned(flags_off + workers * num_params)
+        total = losses_off + workers * 8 + workers
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        if shared:
+            self._shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+            buf: Any = self._shm.buf
+        else:
+            self._backing = np.zeros(max(total, 1), dtype=np.uint8)
+            buf = self._backing.data
+        self._grads: Optional[List[List[np.ndarray]]] = [
+            [
+                np.ndarray(
+                    param.data.shape,
+                    dtype=param.data.dtype,
+                    buffer=buf,
+                    offset=rank * rank_stride + offset,
+                )
+                for param, offset in zip(self.parameters, offsets)
+            ]
+            for rank in range(workers)
+        ]
+        self._flags = np.ndarray(
+            (workers, num_params), dtype=np.uint8, buffer=buf, offset=flags_off
+        )
+        self._flags[...] = 0
+        self._losses = np.ndarray(
+            (workers,), dtype=np.float64, buffer=buf, offset=losses_off
+        )
+        self._has_loss = np.ndarray(
+            (workers,), dtype=np.uint8, buffer=buf, offset=losses_off + workers * 8
+        )
+        self._has_loss[...] = 0
+        self._lock = new_lock("train.GradBoard")
+        self._rounds = 0
+
+    @property
+    def rounds(self) -> int:
+        """Number of reduces performed on this board."""
+        return self._rounds
+
+    def publish(self, rank: int, loss: Optional[float]) -> None:
+        """Copy this rank's gradients and loss into its slot.
+
+        ``loss is None`` marks an empty shard: the rank contributes
+        nothing this step (its flags are cleared so stale gradients from
+        a previous step can never leak into the reduce).
+        """
+        grads = self._grads
+        if grads is None:
+            raise RuntimeError("gradient board is closed")
+        flags = self._flags[rank]
+        if loss is None:
+            flags[:] = 0
+            self._has_loss[rank] = 0
+            return
+        for i, param in enumerate(self.parameters):
+            grad = param.grad
+            if grad is None:
+                flags[i] = 0
+            else:
+                flags[i] = 1
+                np.copyto(grads[rank][i], grad)
+        self._losses[rank] = loss
+        self._has_loss[rank] = 1
+
+    def reduce_into(self) -> float:
+        """Sum slots into ``param.grad`` in rank order; return the loss sum.
+
+        Parameters no rank published stay ``grad = None``.  With one
+        worker the reduce is a plain copy, so the applied gradients are
+        bit-identical to the serial step.
+        """
+        grads = self._grads
+        if grads is None:
+            raise RuntimeError("gradient board is closed")
+        with self._lock:
+            self._rounds += 1
+        total = 0.0
+        for rank in range(self.workers):
+            if self._has_loss[rank]:
+                total += float(self._losses[rank])
+        for i, param in enumerate(self.parameters):
+            acc: Optional[np.ndarray] = None
+            for rank in range(self.workers):
+                if self._flags[rank, i]:
+                    slot = grads[rank][i]
+                    if acc is None:
+                        acc = slot.copy()
+                    else:
+                        acc += slot
+            param.grad = acc
+        return total
+
+    def close(self) -> None:
+        """Release views and (for the fork backend) unlink the block."""
+        with self._lock:
+            self._grads = None
+            self._flags = None  # type: ignore[assignment]
+            self._losses = None  # type: ignore[assignment]
+            self._has_loss = None  # type: ignore[assignment]
+            shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+
+
+@dataclass
+class EpochResult:
+    """Per-step loss totals (serial association order) for one epoch."""
+
+    losses: List[float] = field(default_factory=list)
+    steps: int = 0
+
+
+class DataParallelEngine:
+    """Runs epochs of a :class:`DataParallelTask` across workers.
+
+    The task supplies the domain logic (sampling, loss, optimizer,
+    post-step hooks); the engine supplies process/shard orchestration.
+    Construct once per fit (the fork backend re-binds parameters into
+    shared memory immediately) and :meth:`close` in a ``finally``.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        workers: int,
+        backend: str = "fork",
+        tracer: Any = None,
+        metrics: Any = None,
+        barrier_timeout: float = 300.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"dp_workers must be positive, got {workers}")
+        if backend not in ("fork", "inline"):
+            raise ValueError(
+                f"dp_backend must be 'fork' or 'inline', got {backend!r}"
+            )
+        self.parameters = list(parameters)
+        self.workers = workers
+        self.backend = backend
+        self.tracer = tracer
+        self.metrics = metrics
+        self.barrier_timeout = barrier_timeout
+        self._arena: Optional[ParamArena] = None
+        self._ctx = None
+        if backend == "fork":
+            require_fork_start_method("data-parallel training (dp_backend='fork')")
+            self._ctx = multiprocessing.get_context("fork")
+            self._arena = ParamArena(self.parameters)
+        self._board: Optional[GradBoard] = GradBoard(
+            self.parameters, workers, shared=(backend == "fork")
+        )
+
+    def close(self) -> None:
+        """Unbind the arena and free the gradient board."""
+        if self._arena is not None:
+            self._arena.detach()
+            self._arena = None
+        if self._board is not None:
+            self._board.close()
+            self._board = None
+
+    def __enter__(self) -> "DataParallelEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @contextmanager
+    def _span(self, name: str, **attrs: Any):
+        if self.tracer is None:
+            yield None
+        else:
+            with self.tracer.span(name, **attrs) as span:
+                yield span
+
+    def run_epoch(self, task: Any) -> EpochResult:
+        """Run one epoch of ``task``; returns per-step loss totals."""
+        board = self._board
+        if board is None:
+            raise RuntimeError("engine is closed")
+        steps = task.steps_per_epoch()
+        if steps <= 0:
+            return EpochResult()
+        if self.backend == "inline":
+            result = self._run_inline(task, steps)
+        else:
+            result = self._run_fork(task, steps)
+        if self.metrics is not None:
+            self.metrics.counter("dp.steps").inc(result.steps)
+            self.metrics.counter("dp.epochs").inc()
+        return result
+
+    # ------------------------------------------------------------------
+    # inline backend
+    # ------------------------------------------------------------------
+    def _run_inline(self, task: Any, steps: int) -> EpochResult:
+        board = self._board
+        assert board is not None
+        losses: List[float] = []
+        task.begin_epoch()
+        with self._span("dp:steps", steps=steps, backend="inline", workers=self.workers):
+            for step_index in range(steps):
+                task.next_step()
+                # Each rank must see the same RNG draws a forked replica
+                # would: snapshot before the first rank, restore before
+                # every later one.  Net effect: the stream advances by
+                # exactly one step's worth of draws, as in serial.
+                saved = task.save_draw_state()
+                for rank in range(self.workers):
+                    if rank:
+                        task.restore_draw_state(saved)
+                    board.publish(rank, task.compute(rank, self.workers))
+                total = board.reduce_into()
+                task.apply_step()
+                losses.append(total)
+                task.on_parent_step(step_index, total)
+                task.after_apply()
+        return EpochResult(losses, steps)
+
+    # ------------------------------------------------------------------
+    # fork backend
+    # ------------------------------------------------------------------
+    def _run_fork(self, task: Any, steps: int) -> EpochResult:
+        board = self._board
+        ctx = self._ctx
+        assert board is not None and ctx is not None
+        grads_ready = ctx.Barrier(self.workers + 1)
+        apply_done = ctx.Barrier(self.workers + 1)
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        procs: List[Any] = []
+        losses: List[float] = []
+        try:
+            with self._span("dp:fork", workers=self.workers, backend="fork"):
+                for rank in range(self.workers):
+                    proc = ctx.Process(
+                        target=self._worker_main,
+                        args=(task, rank, steps, grads_ready, apply_done, send_end),
+                        daemon=True,
+                        name=f"dp-worker-{rank}",
+                    )
+                    proc.start()
+                    procs.append(proc)
+                send_end.close()
+            with self._span("dp:steps", steps=steps, backend="fork", workers=self.workers):
+                for step_index in range(steps):
+                    self._await(grads_ready, procs, "gradient exchange")
+                    total = board.reduce_into()
+                    task.apply_step()
+                    self._await(apply_done, procs, "parameter apply")
+                    losses.append(total)
+                    task.on_parent_step(step_index, total)
+            with self._span("dp:adopt", backend="fork"):
+                if not recv_end.poll(self.barrier_timeout):
+                    self._fail(procs, "epoch handback")
+                task.adopt(recv_end.recv())
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            recv_end.close()
+        return EpochResult(losses, steps)
+
+    def _worker_main(
+        self,
+        task: Any,
+        rank: int,
+        steps: int,
+        grads_ready: Any,
+        apply_done: Any,
+        send_end: Any,
+    ) -> None:
+        board = self._board
+        assert board is not None
+        try:
+            task.begin_epoch()
+            for _ in range(steps):
+                task.next_step()
+                board.publish(rank, task.compute(rank, self.workers))
+                grads_ready.wait(self.barrier_timeout)
+                apply_done.wait(self.barrier_timeout)
+                task.after_apply()
+            if rank == 0:
+                send_end.send(task.handback())
+        except BaseException:
+            traceback.print_exc()
+            sys.stderr.flush()
+            grads_ready.abort()
+            apply_done.abort()
+            os._exit(70)
+        # Skip atexit/teardown inherited from the parent (observability
+        # exporters, resource trackers): the worker owns none of it.
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(0)
+
+    def _await(self, barrier: Any, procs: List[Any], phase: str) -> None:
+        try:
+            barrier.wait(self.barrier_timeout)
+        except threading.BrokenBarrierError:
+            self._fail(procs, phase)
+
+    def _fail(self, procs: List[Any], phase: str) -> None:
+        # A worker that aborted the barrier may still be mid-exit; give
+        # each a short grace so a crash is reported as a crash (name +
+        # exit code) rather than racing into the timeout diagnosis.
+        for proc in procs:
+            proc.join(timeout=5)
+        dead = [
+            (proc.name, proc.exitcode)
+            for proc in procs
+            if not proc.is_alive()
+        ]
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        raise RuntimeError(
+            f"data-parallel workers failed during {phase}: "
+            + (f"exited {dead}" if dead else "barrier timed out with all workers alive")
+        )
+
+
+class DataParallelTask:
+    """Protocol the engine drives; trainers subclass per loop shape.
+
+    Worker-side (forked replica or inline, in serial order):
+    ``begin_epoch`` -> per step: ``next_step`` (sample full batches),
+    ``compute(rank, workers)`` (loss on shard scaled by ``n_w / B``,
+    gradients left on the parameters; ``None`` for an empty shard),
+    barrier, barrier, ``after_apply`` (post-optimizer hooks such as
+    cluster refresh) -> worker 0 returns ``handback()``.
+
+    Parent-side: ``apply_step`` between the barriers (clip + optimizer
+    step on the reduced gradients), ``on_parent_step`` after each step
+    (fault-injection hooks, counters), ``adopt(handback)`` at the epoch
+    boundary.  ``save_draw_state``/``restore_draw_state`` snapshot the
+    RNG streams ``compute`` draws from, for the inline backend.
+    """
+
+    def steps_per_epoch(self) -> int:
+        raise NotImplementedError
+
+    def begin_epoch(self) -> None:
+        raise NotImplementedError
+
+    def next_step(self) -> None:
+        raise NotImplementedError
+
+    def compute(self, rank: int, workers: int) -> Optional[float]:
+        raise NotImplementedError
+
+    def apply_step(self) -> None:
+        raise NotImplementedError
+
+    def after_apply(self) -> None:
+        """Post-optimizer hook run in every worker replica; default no-op."""
+
+    def on_parent_step(self, step_index: int, loss: float) -> None:
+        """Parent-side per-step hook; default no-op."""
+
+    def save_draw_state(self) -> Any:
+        """Snapshot the RNG state ``compute`` consumes; default none."""
+        return None
+
+    def restore_draw_state(self, state: Any) -> None:
+        """Restore a :meth:`save_draw_state` snapshot; default no-op."""
+
+    def handback(self) -> Dict[str, Any]:
+        """Worker-0 state returned to the parent at the epoch boundary."""
+        return {}
+
+    def adopt(self, handback: Dict[str, Any]) -> None:
+        """Parent-side: absorb worker 0's epoch-end state; default no-op."""
+
+
+__all__ = [
+    "DataParallelEngine",
+    "DataParallelTask",
+    "EpochResult",
+    "GradBoard",
+    "ParamArena",
+    "shard_bounds",
+]

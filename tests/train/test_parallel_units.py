@@ -1,0 +1,249 @@
+"""Unit tests for the data-parallel engine primitives.
+
+Covers :func:`shard_bounds` partition properties, :class:`ParamArena`
+bind/detach round-trips, :class:`GradBoard` publish/reduce semantics
+(rank-order sums, ``None``-grad skip, stale-slot clearing), and the
+engine's validation plus a toy fork-vs-inline equivalence run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nn.module import Parameter
+from repro.train import (
+    DataParallelEngine,
+    DataParallelTask,
+    EpochResult,
+    GradBoard,
+    ParamArena,
+    shard_bounds,
+)
+
+
+def make_params(rng, shapes=((3, 4), (5,), (2, 2))):
+    return [Parameter(rng.normal(size=shape)) for shape in shapes]
+
+
+class TestShardBounds:
+    @pytest.mark.parametrize(
+        "n,workers", [(10, 1), (10, 3), (7, 7), (3, 5), (0, 2), (1024, 4)]
+    )
+    def test_partition_properties(self, n, workers):
+        bounds = shard_bounds(n, workers)
+        assert len(bounds) == workers
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        sizes = []
+        for (lo, hi), (next_lo, _) in zip(bounds, bounds[1:]):
+            assert hi == next_lo  # contiguous
+        for lo, hi in bounds:
+            assert 0 <= lo <= hi
+            sizes.append(hi - lo)
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        assert sizes == sorted(sizes, reverse=True)  # extras go first
+
+    def test_single_worker_is_whole_range(self):
+        assert shard_bounds(17, 1) == [(0, 17)]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            shard_bounds(10, 0)
+
+
+class TestParamArena:
+    def test_bind_preserves_values_and_shares_storage(self, rng):
+        params = make_params(rng)
+        originals = [param.data.copy() for param in params]
+        arena = ParamArena(params)
+        try:
+            for param, original in zip(params, originals):
+                assert np.array_equal(param.data, original)
+            # In-place writes land in the arena views (the broadcast).
+            params[0].data += 1.0
+            assert np.array_equal(params[0].data, originals[0] + 1.0)
+        finally:
+            arena.detach()
+
+    def test_detach_restores_private_arrays(self, rng):
+        params = make_params(rng)
+        arena = ParamArena(params)
+        arena.detach()
+        for param in params:
+            # A private heap array again: resizable only if owned.
+            assert param.data.base is None
+        arena.detach()  # second detach is a no-op, not a crash
+
+
+class TestGradBoard:
+    def test_single_worker_reduce_is_bitwise_copy(self, rng):
+        params = make_params(rng)
+        board = GradBoard(params, workers=1, shared=False)
+        grads = [rng.normal(size=param.data.shape) for param in params]
+        for param, grad in zip(params, grads):
+            param.grad = grad.copy()
+        board.publish(0, 0.5)
+        total = board.reduce_into()
+        assert total == 0.5
+        for param, grad in zip(params, grads):
+            assert np.array_equal(param.grad, grad)
+        board.close()
+
+    def test_reduce_sums_in_rank_order(self, rng):
+        params = make_params(rng)
+        board = GradBoard(params, workers=3, shared=False)
+        per_rank = [
+            [rng.normal(size=param.data.shape) for param in params]
+            for _ in range(3)
+        ]
+        for rank in range(3):
+            for param, grad in zip(params, per_rank[rank]):
+                param.grad = grad.copy()
+            board.publish(rank, float(rank))
+        total = board.reduce_into()
+        assert total == 0.0 + 1.0 + 2.0
+        for i, param in enumerate(params):
+            expected = per_rank[0][i].copy()
+            expected += per_rank[1][i]
+            expected += per_rank[2][i]
+            assert np.array_equal(param.grad, expected)
+        assert board.rounds == 1
+        board.close()
+
+    def test_none_grads_stay_none(self, rng):
+        params = make_params(rng)
+        board = GradBoard(params, workers=2, shared=False)
+        for rank in range(2):
+            params[0].grad = rng.normal(size=params[0].data.shape)
+            params[1].grad = None  # e.g. an unused embedding this step
+            params[2].grad = rng.normal(size=params[2].data.shape)
+            board.publish(rank, 1.0)
+        board.reduce_into()
+        assert params[0].grad is not None
+        assert params[1].grad is None
+        assert params[2].grad is not None
+        board.close()
+
+    def test_empty_shard_clears_stale_slot(self, rng):
+        params = make_params(rng)
+        board = GradBoard(params, workers=2, shared=False)
+        rank1_grads = [rng.normal(size=param.data.shape) for param in params]
+        for rank in range(2):
+            for param, grad in zip(params, rank1_grads):
+                param.grad = grad.copy()
+            board.publish(rank, 1.0)
+        board.reduce_into()
+        # Next step: rank 1's shard is empty.  Its previous gradients
+        # must not leak into the reduce.
+        rank0_grads = [rng.normal(size=param.data.shape) for param in params]
+        for param, grad in zip(params, rank0_grads):
+            param.grad = grad.copy()
+        board.publish(0, 0.25)
+        board.publish(1, None)
+        total = board.reduce_into()
+        assert total == 0.25
+        for param, grad in zip(params, rank0_grads):
+            assert np.array_equal(param.grad, grad)
+        board.close()
+
+    def test_closed_board_raises(self, rng):
+        params = make_params(rng)
+        board = GradBoard(params, workers=1, shared=False)
+        board.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            board.publish(0, 1.0)
+        with pytest.raises(RuntimeError, match="closed"):
+            board.reduce_into()
+
+
+class _ToyTask(DataParallelTask):
+    """Deterministic gradients; SGD-style apply.  No RNG, no sampling."""
+
+    def __init__(self, params, steps=3):
+        self.params = params
+        self.steps = steps
+
+    def steps_per_epoch(self):
+        return self.steps
+
+    def begin_epoch(self):
+        pass
+
+    def next_step(self):
+        pass
+
+    def compute(self, rank, workers):
+        for i, param in enumerate(self.params):
+            param.grad = np.full_like(param.data, float(rank + 1) / (i + 1))
+        return float(rank + 1)
+
+    def apply_step(self):
+        for param in self.params:
+            if param.grad is not None:
+                param.data -= 0.1 * param.grad
+
+
+class TestEngineLifecycle:
+    def test_rejects_bad_worker_count_and_backend(self, rng):
+        params = make_params(rng)
+        with pytest.raises(ValueError, match="dp_workers must be positive"):
+            DataParallelEngine(params, workers=0, backend="inline")
+        with pytest.raises(ValueError, match="dp_backend"):
+            DataParallelEngine(params, workers=1, backend="threads")
+
+    def test_closed_engine_raises(self, rng):
+        params = make_params(rng)
+        engine = DataParallelEngine(params, workers=1, backend="inline")
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run_epoch(_ToyTask(params))
+
+    def test_zero_steps_is_empty_epoch(self, rng):
+        params = make_params(rng)
+        with DataParallelEngine(params, workers=2, backend="inline") as engine:
+            outcome = engine.run_epoch(_ToyTask(params, steps=0))
+        assert outcome == EpochResult()
+
+    def test_inline_epoch_losses_and_metrics(self, rng):
+        params = make_params(rng)
+        metrics = obs.MetricsRegistry()
+        with DataParallelEngine(
+            params, workers=3, backend="inline", metrics=metrics
+        ) as engine:
+            outcome = engine.run_epoch(_ToyTask(params, steps=4))
+        assert outcome.steps == 4
+        assert outcome.losses == [6.0] * 4  # 1 + 2 + 3 per step
+        counters = metrics.snapshot()["counters"]
+        assert counters["dp.steps"] == 4
+        assert counters["dp.epochs"] == 1
+
+    def test_worker_crash_fails_loudly(self, rng):
+        class _CrashTask(_ToyTask):
+            def compute(self, rank, workers):
+                if rank == 1:
+                    raise RuntimeError("worker bug")
+                return super().compute(rank, workers)
+
+        params = make_params(rng)
+        with DataParallelEngine(
+            params, workers=2, backend="fork", barrier_timeout=30.0
+        ) as engine:
+            with pytest.raises(RuntimeError, match="dp-worker-1.*70"):
+                engine.run_epoch(_CrashTask(params))
+
+    def test_fork_matches_inline_bitwise(self, rng):
+        init = [param.data.copy() for param in make_params(rng)]
+
+        def run(backend):
+            params = [Parameter(data.copy()) for data in init]
+            with DataParallelEngine(params, workers=2, backend=backend) as eng:
+                outcome = eng.run_epoch(_ToyTask(params, steps=5))
+            return outcome, [param.data.copy() for param in params]
+
+        inline_out, inline_params = run("inline")
+        fork_out, fork_params = run("fork")
+        assert inline_out.losses == fork_out.losses
+        for a, b in zip(inline_params, fork_params):
+            assert np.array_equal(a, b)

@@ -1,0 +1,96 @@
+"""Start-method guard: fork-dependent subsystems fail fast elsewhere.
+
+The data-parallel fork backend and the process-isolated serving workers
+both inherit state across ``fork``.  On platforms without it (Windows,
+some macOS configurations) they must raise a clear, actionable error at
+construction time instead of hanging or crashing mid-epoch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.concurrency import require_fork_start_method
+from repro.data import generate_preset, split_dataset
+from repro.models import BPRMF, TrainConfig, fit_bpr
+from repro.nn.module import Parameter
+from repro.train import DataParallelEngine
+
+
+@pytest.fixture
+def forkless(monkeypatch):
+    """Pretend the platform only offers spawn (e.g. Windows)."""
+    monkeypatch.setattr(
+        multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+
+
+class TestRequireForkStartMethod:
+    def test_passes_where_fork_exists(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork")
+        require_fork_start_method("test feature")
+
+    def test_error_names_feature_and_remedy(self, forkless):
+        with pytest.raises(RuntimeError) as excinfo:
+            require_fork_start_method("data-parallel training")
+        message = str(excinfo.value)
+        assert "data-parallel training" in message
+        assert "'fork'" in message
+        assert "spawn" in message  # what the platform does offer
+        assert "inline" in message  # the remedy
+
+    def test_engine_fork_backend_guarded(self, forkless, rng):
+        params = [Parameter(rng.normal(size=(2, 2)))]
+        with pytest.raises(RuntimeError, match="fork"):
+            DataParallelEngine(params, workers=1, backend="fork")
+
+    def test_engine_inline_backend_unaffected(self, forkless, rng):
+        params = [Parameter(rng.normal(size=(2, 2)))]
+        with DataParallelEngine(params, workers=1, backend="inline"):
+            pass
+
+    def test_serving_workers_guarded(self, forkless):
+        from repro.serve.proc import ProcWorker, WorkerSpec
+
+        spec = WorkerSpec(
+            builder=lambda: BPRMF(4, 4, 2, rng=np.random.default_rng(7))
+        )
+        with pytest.raises(RuntimeError, match="fork"):
+            ProcWorker(spec, 0)
+
+
+@pytest.mark.skipif(
+    "fork" in multiprocessing.get_all_start_methods(),
+    reason="fork available: the guard never fires on this platform",
+)
+class TestForklessSmoke:
+    """Runs only on genuinely fork-less platforms (spawn-only)."""
+
+    def test_dp_fork_config_raises_before_training(self):
+        dataset = generate_preset("hetrec-del", scale=0.02, seed=41)
+        split = split_dataset(dataset, seed=42)
+        model = BPRMF(
+            dataset.num_users, dataset.num_items, 8, np.random.default_rng(3)
+        )
+        with pytest.raises(RuntimeError, match="fork"):
+            fit_bpr(
+                model, split,
+                TrainConfig(epochs=1, batch_size=64, dp_workers=2),
+            )
+
+    def test_inline_backend_trains(self):
+        dataset = generate_preset("hetrec-del", scale=0.02, seed=41)
+        split = split_dataset(dataset, seed=42)
+        model = BPRMF(
+            dataset.num_users, dataset.num_items, 8, np.random.default_rng(3)
+        )
+        result = fit_bpr(
+            model, split,
+            TrainConfig(epochs=1, batch_size=64, dp_workers=2,
+                        dp_backend="inline"),
+        )
+        assert result.epochs_run == 1
